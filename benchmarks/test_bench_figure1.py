@@ -1,0 +1,15 @@
+"""Figure 1: accuracy degradation as in-domain training data shrinks."""
+
+from .conftest import run_once
+from repro.eval import format_table
+
+
+def test_figure1_data_scarcity(benchmark, suite):
+    rows = run_once(benchmark, suite.run_figure1, domain="yugioh", sizes=(0, 10, 30))
+    print()
+    print(format_table(rows, title="Figure 1 — U.Acc vs in-domain training size (YuGiOh)"))
+    sizes = [row["train_size"] for row in rows]
+    assert sizes == [0, 10, 30]
+    # More in-domain data should never hurt badly; the trained models must
+    # beat the untrained one.
+    assert rows[-1]["unnormalized_accuracy"] >= rows[0]["unnormalized_accuracy"]

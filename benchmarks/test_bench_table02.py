@@ -1,0 +1,15 @@
+"""Table II: qualitative errors of the exact-match-trained model."""
+
+from .conftest import run_once
+from repro.eval import format_table
+
+
+def test_table2_exact_match_errors(benchmark, suite):
+    rows = run_once(benchmark, suite.run_table2_examples, domain="yugioh", max_rows=3)
+    print()
+    print(format_table(rows, title="Table II — errors made by the exact-match model"))
+    # The runner only emits rows where syn is right and exact match is wrong,
+    # so every returned row is a qualitative error example.
+    for row in rows:
+        assert row["exact_match_prediction"] != row["gold_entity"]
+        assert row["syn_prediction"] == row["gold_entity"]

@@ -1,0 +1,16 @@
+"""Table III: dataset statistics of the (synthetic) Zeshel benchmark."""
+
+from .conftest import run_once
+from repro.eval import format_table
+
+
+def test_table3_dataset_statistics(benchmark, suite):
+    rows = run_once(benchmark, suite.run_table3_statistics)
+    print()
+    print(format_table(rows, title="Table III — per-domain statistics"))
+    assert len(rows) == 16
+    by_split = {}
+    for row in rows:
+        by_split.setdefault(row["split"], 0)
+        by_split[row["split"]] += 1
+    assert by_split == {"train": 8, "dev": 4, "test": 4}

@@ -1,0 +1,15 @@
+"""Table IV: few-shot split sizes for the four test domains."""
+
+from .conftest import run_once
+from repro.eval import format_table
+
+
+def test_table4_few_shot_splits(benchmark, suite):
+    rows = run_once(benchmark, suite.run_table4_splits)
+    print()
+    print(format_table(rows, title="Table IV — few-shot splits"))
+    assert len(rows) == 4
+    for row in rows:
+        assert row["train"] == suite.config.seed_size
+        assert row["dev"] == suite.config.dev_size
+        assert row["test"] > 0

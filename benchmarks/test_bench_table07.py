@@ -1,0 +1,12 @@
+"""Table VII: zero-shot domain transfer."""
+
+from .conftest import run_once
+from repro.eval import format_table
+
+
+def test_table7_zero_shot_transfer(benchmark, suite):
+    rows = run_once(benchmark, suite.run_table7_transfer, domains=["lego", "yugioh"])
+    print()
+    print(format_table(rows, title="Table VII — zero-shot domain transfer"))
+    assert len(rows) == 6
+    assert {row["method"] for row in rows} == {"blink", "blink_seed", "metablink_syn_seed"}

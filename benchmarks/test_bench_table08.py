@@ -1,0 +1,13 @@
+"""Table VIII: domain gap between the general domain and each test domain."""
+
+from .conftest import run_once
+from repro.eval import format_table
+
+
+def test_table8_domain_gap(benchmark, suite):
+    rows = run_once(benchmark, suite.run_table8_gap, domains=["star_trek", "yugioh"], finetune_size=60)
+    print()
+    print(format_table(rows, title="Table VIII — domain gap (U.Acc difference)"))
+    assert len(rows) == 2
+    for row in rows:
+        assert abs(row["gap"] - (row["blink_ft"] - row["blink"])) < 1e-6

@@ -1,0 +1,20 @@
+"""Table IX: zero-shot transfer with different training sources."""
+
+from .conftest import run_once
+from repro.eval import format_table
+
+METHODS = [
+    "blink",
+    "blink_seed",
+    "metablink_syn_seed",
+    "metablink_general_seed",
+    "metablink_general_syn_seed",
+    "metablink_general_synstar_seed",
+]
+
+
+def test_table9_training_sources(benchmark, suite):
+    rows = run_once(benchmark, suite.run_table9_sources, domains=["yugioh"])
+    print()
+    print(format_table(rows, title="Table IX — transfer with different training sources (YuGiOh)"))
+    assert [row["method"] for row in rows] == METHODS

@@ -1,0 +1,11 @@
+"""Table X: effectiveness of mention rewriting on linking quality."""
+
+from .conftest import run_once
+from repro.eval import format_table
+
+
+def test_table10_mention_rewriting(benchmark, suite):
+    rows = run_once(benchmark, suite.run_table10_rewriting, domains=["yugioh"])
+    print()
+    print(format_table(rows, title="Table X — training-data source vs linking quality (YuGiOh)"))
+    assert [row["data"] for row in rows] == ["exact_match", "syn", "syn_star"]

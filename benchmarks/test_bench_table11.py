@@ -1,0 +1,15 @@
+"""Table XI: ROUGE-1 of generated mentions vs golden mentions."""
+
+from .conftest import run_once
+from repro.eval import format_table
+
+
+def test_table11_rouge(benchmark, suite):
+    rows = run_once(benchmark, suite.run_table11_rouge, domains=["lego", "yugioh"], sample_size=40)
+    print()
+    print(format_table(rows, title="Table XI — ROUGE-1 F1 vs golden mentions"))
+    assert len(rows) == 2
+    for row in rows:
+        # Rewritten mentions should be closer to the natural mention
+        # distribution than raw titles (the paper's Table XI shape).
+        assert row["syn"] >= row["exact_match"]

@@ -1,0 +1,60 @@
+"""Mention rewriting demo: from exact matching to syn / syn* data.
+
+Run with::
+
+    python examples/mention_rewriting.py
+
+Shows the two-stage weak-supervision pipeline on the Lego domain: exact-match
+pairs, the mentions the seq2seq rewriter generates for them, and the ROUGE-1
+comparison of Table XI (generated mentions are closer to real mention
+distribution than raw titles).
+"""
+
+from dataclasses import replace
+
+from repro.data import generate_corpus, split_domain
+from repro.eval import format_table, small_experiment_config
+from repro.generation import (
+    build_exact_match_data,
+    build_synthetic_data,
+    build_tokenizer_for_corpus,
+    train_rewriter,
+)
+from repro.text import corpus_rouge_1_f1
+
+DOMAIN = "lego"
+
+
+def main() -> None:
+    config = small_experiment_config(seed=13)
+    config = replace(config, corpus=replace(config.corpus, entities_per_domain=24, mentions_per_domain=140))
+
+    corpus = generate_corpus(config.corpus)
+    tokenizer = build_tokenizer_for_corpus(corpus, max_length=config.rewriter.max_source_length)
+    split = split_domain(corpus, DOMAIN, seed_size=config.seed_size, dev_size=config.dev_size)
+
+    print("Stage 1 — exact matching (mention surface == entity title):")
+    exact_pairs = build_exact_match_data(corpus, DOMAIN, per_entity=1)
+    for pair in exact_pairs[:3]:
+        print(f"  [{pair.entity.title}] -> mention {pair.mention.surface!r}")
+
+    print("\nStage 2 — training the rewriter on the 8 source domains ...")
+    rewriter = train_rewriter(corpus, tokenizer, config=config.rewriter, limit_per_domain=40, seed=0)
+    syn_pairs = build_synthetic_data(corpus, DOMAIN, rewriter, exact_pairs=exact_pairs[:12])
+    print("rewritten mentions:")
+    for pair in syn_pairs[:6]:
+        print(f"  [{pair.entity.title}] -> mention {pair.mention.surface!r}")
+
+    golden = [mention.surface for mention in split.test[:30]]
+    exact_surfaces = [pair.mention.surface for pair in exact_pairs[:30]]
+    syn_surfaces = [pair.mention.surface for pair in syn_pairs]
+    rows = [
+        {"data": "exact_match", "rouge1_f1_vs_golden": corpus_rouge_1_f1(exact_surfaces[: len(golden)], golden)},
+        {"data": "syn", "rouge1_f1_vs_golden": corpus_rouge_1_f1(syn_surfaces, golden[: len(syn_surfaces)])},
+    ]
+    print()
+    print(format_table(rows, title="Table XI-style ROUGE-1 comparison"))
+
+
+if __name__ == "__main__":
+    main()

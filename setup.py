@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs are unavailable.  Keeping a ``setup.py`` lets
+``pip install -e .`` fall back to the legacy develop-mode install; all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Reproduction of "Effective Few-Shot Named Entity Linking by Meta-Learning".
+
+The package is organised as a set of substrates (``nn``, ``text``, ``kb``,
+``data``, ``generation``, ``linking``) underneath the paper's contribution
+(``meta``), plus an evaluation harness (``eval``) that regenerates every table
+and figure of the paper.  See DESIGN.md for the full inventory and
+EXPERIMENTS.md for paper-vs-measured numbers.
+
+Typical usage::
+
+    from repro import default_config
+    from repro.data import generate_corpus
+    from repro.meta import MetaBlinkTrainer
+
+    config = default_config(seed=13)
+    corpus = generate_corpus(config.corpus)
+    trainer = MetaBlinkTrainer(config)
+    result = trainer.train(domain="lego", corpus=corpus)
+"""
+
+from .utils.config import ExperimentConfig, default_config
+
+__version__ = "1.0.0"
+
+__all__ = ["ExperimentConfig", "default_config", "__version__"]

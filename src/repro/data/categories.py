@@ -1,0 +1,61 @@
+"""Mention / entity-title overlap categories (Section VI-A of the paper).
+
+Based on the string overlap between a mention and its gold entity's title the
+paper divides samples into four categories:
+
+* **High Overlap** — mention text equals the title text.
+* **Multiple Categories** — title is the mention text followed by a
+  parenthesised disambiguation phrase (e.g. ``SORA (satellite)``).
+* **Ambiguous Substring** — mention is a proper substring of the title.
+* **Low Overlap** — everything else.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import Enum
+from typing import Dict, Iterable, Tuple
+
+from ..kb.entity import Entity, Mention
+from ..text.normalization import normalize_text, strip_disambiguation
+
+
+class OverlapCategory(str, Enum):
+    """The four mention-title overlap categories of the paper."""
+
+    HIGH_OVERLAP = "high_overlap"
+    MULTIPLE_CATEGORIES = "multiple_categories"
+    AMBIGUOUS_SUBSTRING = "ambiguous_substring"
+    LOW_OVERLAP = "low_overlap"
+
+
+def categorize(mention_surface: str, entity_title: str) -> OverlapCategory:
+    """Classify one (mention surface, entity title) pair."""
+    surface = normalize_text(mention_surface)
+    title = normalize_text(entity_title)
+    title_without_phrase = normalize_text(strip_disambiguation(entity_title))
+
+    if surface == title:
+        return OverlapCategory.HIGH_OVERLAP
+    if surface and surface == title_without_phrase and title_without_phrase != title:
+        return OverlapCategory.MULTIPLE_CATEGORIES
+    if surface and surface in title:
+        return OverlapCategory.AMBIGUOUS_SUBSTRING
+    return OverlapCategory.LOW_OVERLAP
+
+
+def categorize_pair(mention: Mention, entity: Entity) -> OverlapCategory:
+    """Classify a mention against its gold entity."""
+    return categorize(mention.surface, entity.title)
+
+
+def category_distribution(
+    pairs: Iterable[Tuple[Mention, Entity]],
+) -> Dict[OverlapCategory, float]:
+    """Fraction of pairs in each category (all four keys always present)."""
+    counts: Counter = Counter(categorize_pair(mention, entity) for mention, entity in pairs)
+    total = sum(counts.values())
+    return {
+        category: (counts.get(category, 0) / total if total else 0.0)
+        for category in OverlapCategory
+    }

@@ -1,0 +1,124 @@
+"""Few-shot splits of the test domains (Table IV of the paper).
+
+The paper splits each of the four test domains into 50 training (seed)
+samples, 50 development samples and keeps the rest for testing.  This module
+implements that split plus the sized sub-sampling used by Figure 1 (training
+sets of 10..500 samples) and Table VIII (500-sample fine-tuning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..kb.entity import EntityMentionPair, Mention
+from ..utils.rng import derive_seed
+from .zeshel import Corpus
+
+
+@dataclass
+class FewShotSplit:
+    """Seed / dev / test mention split for one domain."""
+
+    domain: str
+    train: List[Mention]
+    dev: List[Mention]
+    test: List[Mention]
+
+    def sizes(self) -> Dict[str, int]:
+        return {"train": len(self.train), "dev": len(self.dev), "test": len(self.test)}
+
+
+def split_domain(
+    corpus: Corpus,
+    domain: str,
+    seed_size: int = 50,
+    dev_size: int = 50,
+    seed: int = 13,
+) -> FewShotSplit:
+    """Split a domain's mentions into seed / dev / test partitions.
+
+    Raises ``ValueError`` when the domain has too few mentions to leave at
+    least one test sample.
+    """
+    mentions = corpus.mentions(domain)
+    if len(mentions) <= seed_size + dev_size:
+        raise ValueError(
+            f"domain {domain!r} has {len(mentions)} mentions, need more than "
+            f"{seed_size + dev_size} for a few-shot split"
+        )
+    rng = np.random.default_rng(derive_seed(seed, "few_shot", domain))
+    order = rng.permutation(len(mentions))
+    shuffled = [mentions[i] for i in order]
+    train = [m.__class__(**{**m.to_dict(), "source": "seed"}) for m in shuffled[:seed_size]]
+    dev = shuffled[seed_size:seed_size + dev_size]
+    test = shuffled[seed_size + dev_size:]
+    return FewShotSplit(domain=domain, train=train, dev=dev, test=test)
+
+
+def split_all_test_domains(
+    corpus: Corpus,
+    seed_size: int = 50,
+    dev_size: int = 50,
+    seed: int = 13,
+) -> Dict[str, FewShotSplit]:
+    """Split every test domain (Table IV)."""
+    return {
+        domain: split_domain(corpus, domain, seed_size=seed_size, dev_size=dev_size, seed=seed)
+        for domain in corpus.domain_names(split="test")
+    }
+
+
+def sample_training_subset(
+    split: FewShotSplit,
+    size: int,
+    corpus: Corpus,
+    seed: int = 13,
+) -> List[Mention]:
+    """Return ``size`` in-domain training mentions.
+
+    Figure 1 and Table VIII train on larger in-domain sets than the 50-sample
+    seed; those extra samples are drawn from the *test* partition (and the
+    evaluation then uses the remaining test mentions), mimicking the paper's
+    "select 500 samples for training" protocol.
+    """
+    if size <= len(split.train):
+        return split.train[:size]
+    pool = split.train + split.test
+    if size > len(pool):
+        raise ValueError(f"requested {size} samples but only {len(pool)} are available")
+    rng = np.random.default_rng(derive_seed(seed, "subset", split.domain, str(size)))
+    extra_indices = rng.choice(len(split.test), size=size - len(split.train), replace=False)
+    return split.train + [split.test[i] for i in sorted(extra_indices)]
+
+
+def remaining_test_mentions(split: FewShotSplit, used: Sequence[Mention]) -> List[Mention]:
+    """Test mentions not present in ``used`` (by mention id)."""
+    used_ids = {mention.mention_id for mention in used}
+    return [mention for mention in split.test if mention.mention_id not in used_ids]
+
+
+def pairs_from_mentions(corpus: Corpus, domain: str, mentions: Sequence[Mention], source: str) -> List[EntityMentionPair]:
+    """Materialise (mention, gold entity) pairs for a mention list."""
+    index = corpus.domain(domain).entity_index
+    pairs: List[EntityMentionPair] = []
+    for mention in mentions:
+        if mention.gold_entity_id is None or mention.gold_entity_id not in index:
+            continue
+        pairs.append(
+            EntityMentionPair(mention=mention, entity=index[mention.gold_entity_id], source=source)
+        )
+    return pairs
+
+
+def table4_rows(
+    splits: Dict[str, FewShotSplit],
+) -> List[Dict[str, object]]:
+    """Rows of Table IV: per-domain train/dev/test sizes."""
+    rows: List[Dict[str, object]] = []
+    for domain in sorted(splits):
+        sizes = splits[domain].sizes()
+        rows.append({"domain": domain, **sizes})
+    return rows

@@ -1,0 +1,102 @@
+"""Persistence for the synthetic corpus (JSON export / import).
+
+Examples and downstream users can generate a corpus once, save it, and reload
+it later without re-running the generator.  The format is plain JSON so it is
+diff-able and easy to inspect.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..kb.entity import Entity, Mention
+from ..kb.knowledge_base import KnowledgeBase
+from ..utils.config import CorpusConfig
+from .documents import Document, DocumentCollection
+from .worlds import get_world
+from .zeshel import Corpus, DomainData
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def save_corpus(corpus: Corpus, path: PathLike) -> Path:
+    """Serialise a corpus to a JSON file and return the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "config": corpus.config.to_dict(),
+        "domains": {
+            name: {
+                "split": data.split,
+                "entities": [entity.to_dict() for entity in data.entities],
+                "mentions": [mention.to_dict() for mention in data.mentions],
+                "documents": [document.to_dict() for document in data.documents],
+                "aliases": data.aliases,
+            }
+            for name, data in corpus.domains.items()
+        },
+        "triples": [
+            {"head": triple.head, "relation": triple.relation, "tail": triple.tail}
+            for triple in corpus.kb.triples()
+        ],
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def load_corpus(path: PathLike) -> Corpus:
+    """Load a corpus written by :func:`save_corpus`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported corpus format version {version!r}")
+
+    config = CorpusConfig(**payload["config"])
+    kb = KnowledgeBase(name="zeshel-synthetic")
+    domains: Dict[str, DomainData] = {}
+    collection = DocumentCollection()
+
+    for name, blob in payload["domains"].items():
+        get_world(name)  # validates the domain name
+        entities = [Entity.from_dict(record) for record in blob["entities"]]
+        mentions = [Mention.from_dict(record) for record in blob["mentions"]]
+        documents = [Document.from_dict(record) for record in blob["documents"]]
+        data = DomainData(
+            name=name,
+            split=blob["split"],
+            entities=entities,
+            mentions=mentions,
+            documents=documents,
+            aliases=dict(blob.get("aliases", {})),
+        )
+        domains[name] = data
+        kb.add_entities(entities)
+        for document in documents:
+            collection.add(document)
+
+    for triple in payload.get("triples", []):
+        if triple["head"] in kb and triple["tail"] in kb:
+            kb.add_triple(triple["head"], triple["relation"], triple["tail"])
+
+    return Corpus(kb=kb, domains=domains, documents=collection, config=config)
+
+
+def corpus_summary(corpus: Corpus) -> List[Dict[str, object]]:
+    """Flat per-domain summary rows (domain, split, entities, mentions)."""
+    rows: List[Dict[str, object]] = []
+    for name, data in sorted(corpus.domains.items()):
+        rows.append(
+            {
+                "domain": name,
+                "split": data.split,
+                "entities": len(data.entities),
+                "mentions": len(data.mentions),
+                "documents": len(data.documents),
+            }
+        )
+    return rows

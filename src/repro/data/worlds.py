@@ -1,0 +1,209 @@
+"""Domain ("world") specifications for the synthetic Zeshel substitute.
+
+The Zeshel benchmark (Logeswaran et al., 2019) collects 16 fandom wikis split
+into 8 training, 4 development and 4 test domains (Table III of the paper).
+We keep the same domain names and split so every experiment reads exactly like
+the paper; the content of each domain is procedurally generated from the
+specifications below.
+
+Two knobs control the *structure* the paper's analysis relies on:
+
+* ``gap`` — how much of a domain's vocabulary is domain-specific rather than
+  shared with the general (training) domains.  The paper measures this gap in
+  Table VIII and finds Forgotten Realms / Star Trek close to the general
+  domain while Lego / YuGiOh are far; we encode that ordering directly.
+* ``entity_scale`` — relative number of entities, so the generated Table III
+  keeps the qualitative size ordering of the original benchmark (Military and
+  StarWars large, YuGiOh and Lego small).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+TRAIN_SPLIT = "train"
+DEV_SPLIT = "dev"
+TEST_SPLIT = "test"
+
+
+@dataclass(frozen=True)
+class WorldSpec:
+    """Specification of one synthetic domain."""
+
+    name: str
+    split: str
+    gap: float
+    entity_scale: float
+    name_parts: Tuple[str, ...]
+    topics: Tuple[str, ...]
+    entity_types: Tuple[str, ...] = ("character", "location", "item", "episode", "faction")
+
+
+# Shared vocabulary that every domain draws from; the mixing ratio between
+# this pool and the domain-specific ``topics`` pool is governed by ``gap``.
+GENERAL_TOPICS: Tuple[str, ...] = (
+    "story", "battle", "season", "leader", "ancient", "legend", "power",
+    "journey", "secret", "alliance", "weapon", "kingdom", "captain", "crew",
+    "mission", "shadow", "council", "guardian", "empire", "rebel", "hero",
+    "villain", "artifact", "prophecy", "war", "peace", "city", "ship",
+    "master", "apprentice", "temple", "fortress", "signal", "archive",
+)
+
+_WORLD_SPECS: Tuple[WorldSpec, ...] = (
+    WorldSpec(
+        name="american_football", split=TRAIN_SPLIT, gap=0.35, entity_scale=1.2,
+        name_parts=("brady", "lombardi", "halas", "madden", "packers", "giants",
+                     "bears", "cowboys", "eagles", "steelers", "colts", "rams"),
+        topics=("quarterback", "touchdown", "playoff", "draft", "stadium", "coach",
+                 "offense", "defense", "league", "franchise", "receiver", "lineman"),
+    ),
+    WorldSpec(
+        name="doctor_who", split=TRAIN_SPLIT, gap=0.4, entity_scale=1.4,
+        name_parts=("gallifrey", "tardis", "dalek", "cyber", "sontaran", "torchwood",
+                     "skaro", "rassilon", "omega", "koschei", "jelly", "baker"),
+        topics=("regeneration", "timelord", "vortex", "companion", "sonic", "paradox",
+                 "timeline", "exterminate", "dimension", "rift", "screwdriver", "doctor"),
+    ),
+    WorldSpec(
+        name="fallout", split=TRAIN_SPLIT, gap=0.45, entity_scale=0.8,
+        name_parts=("vault", "megaton", "ncr", "enclave", "brotherhood", "raider",
+                     "ghoul", "pipboy", "nuka", "wasteland", "mutant", "dogmeat"),
+        topics=("radiation", "bunker", "bottlecap", "settlement", "stimpak", "overseer",
+                 "reactor", "scavenger", "terminal", "holotape", "perk", "wanderer"),
+    ),
+    WorldSpec(
+        name="final_fantasy", split=TRAIN_SPLIT, gap=0.45, entity_scale=0.7,
+        name_parts=("cloud", "sephiroth", "midgar", "chocobo", "moogle", "cid",
+                     "shinra", "ivalice", "zanarkand", "alexandria", "tifa", "noctis"),
+        topics=("summon", "crystal", "limit", "materia", "airship", "esper",
+                 "dungeon", "boss", "magic", "sword", "quest", "guild"),
+    ),
+    WorldSpec(
+        name="military", split=TRAIN_SPLIT, gap=0.3, entity_scale=2.0,
+        name_parts=("normandy", "patton", "sherman", "bradley", "panzer", "luftwaffe",
+                     "midway", "okinawa", "ardennes", "anzio", "pacific", "atlantic"),
+        topics=("division", "regiment", "offensive", "artillery", "infantry", "armored",
+                 "campaign", "operation", "battalion", "commander", "squadron", "front"),
+    ),
+    WorldSpec(
+        name="pro_wrestling", split=TRAIN_SPLIT, gap=0.4, entity_scale=0.6,
+        name_parts=("hogan", "austin", "undertaker", "kane", "mysterio", "flair",
+                     "wrestlemania", "smackdown", "nitro", "starrcade", "cena", "rock"),
+        topics=("championship", "heel", "face", "promo", "feud", "tagteam",
+                 "cage", "belt", "ring", "manager", "submission", "ladder"),
+    ),
+    WorldSpec(
+        name="starwars", split=TRAIN_SPLIT, gap=0.35, entity_scale=1.8,
+        name_parts=("tatooine", "coruscant", "skywalker", "kenobi", "vader", "yoda",
+                     "endor", "hoth", "dagobah", "mandalore", "corellia", "alderaan"),
+        topics=("jedi", "sith", "lightsaber", "force", "blaster", "droid",
+                 "senate", "clone", "padawan", "holocron", "starfighter", "smuggler"),
+    ),
+    WorldSpec(
+        name="world_of_warcraft", split=TRAIN_SPLIT, gap=0.45, entity_scale=1.0,
+        name_parts=("azeroth", "orgrimmar", "stormwind", "thrall", "sylvanas", "arthas",
+                     "draenor", "ironforge", "teldrassil", "gnome", "tauren", "worgen"),
+        topics=("raid", "horde", "alliance", "mana", "dungeon", "questline",
+                 "shaman", "paladin", "warlock", "expansion", "loot", "guild"),
+    ),
+    WorldSpec(
+        name="coronation_street", split=DEV_SPLIT, gap=0.4, entity_scale=0.8,
+        name_parts=("weatherfield", "rovers", "barlow", "platt", "tilsley", "baldwin",
+                     "duckworth", "webster", "battersby", "roberts", "grimshaw", "connor"),
+        topics=("cobbles", "factory", "landlady", "affair", "wedding", "funeral",
+                 "barmaid", "corner", "shop", "street", "family", "scandal"),
+    ),
+    WorldSpec(
+        name="muppets", split=DEV_SPLIT, gap=0.45, entity_scale=0.9,
+        name_parts=("kermit", "piggy", "fozzie", "gonzo", "scooter", "rowlf",
+                     "animal", "beaker", "statler", "waldorf", "swedish", "rizzo"),
+        topics=("sketch", "theater", "song", "puppet", "show", "stage",
+                 "audience", "band", "comedy", "guest", "frog", "chicken"),
+    ),
+    WorldSpec(
+        name="ice_hockey", split=DEV_SPLIT, gap=0.35, entity_scale=1.1,
+        name_parts=("gretzky", "orr", "canadiens", "rangers", "bruins", "maple",
+                     "penguins", "flyers", "islanders", "oilers", "stanley", "selke"),
+        topics=("goaltender", "defenseman", "powerplay", "faceoff", "hattrick", "playoff",
+                 "rink", "slapshot", "penalty", "forward", "trophy", "franchise"),
+    ),
+    WorldSpec(
+        name="elder_scrolls", split=DEV_SPLIT, gap=0.45, entity_scale=0.9,
+        name_parts=("tamriel", "skyrim", "morrowind", "cyrodiil", "daedric", "dovahkiin",
+                     "whiterun", "solitude", "dunmer", "nord", "argonian", "khajiit"),
+        topics=("shout", "dragonborn", "guild", "daedra", "mage", "thane",
+                 "province", "shrine", "scroll", "enchanting", "jarl", "ruin"),
+    ),
+    # --- Test domains -------------------------------------------------
+    WorldSpec(
+        name="forgotten_realms", split=TEST_SPLIT, gap=0.25, entity_scale=0.7,
+        name_parts=("waterdeep", "baldur", "neverwinter", "drizzt", "elminster", "menzoberranzan",
+                     "cormyr", "thay", "calimshan", "icewind", "harpers", "zhentarim"),
+        topics=("wizard", "rogue", "dragon", "dungeon", "realm", "sword",
+                 "temple", "guild", "quest", "mage", "lord", "prophecy"),
+    ),
+    WorldSpec(
+        name="lego", split=TEST_SPLIT, gap=0.6, entity_scale=0.45,
+        name_parts=("bionicle", "ninjago", "chima", "minifigure", "brickset", "octan",
+                     "technic", "duplo", "mindstorms", "friends", "creator", "modular"),
+        topics=("brick", "set", "minifig", "stud", "baseplate", "instruction",
+                 "piece", "theme", "wave", "mold", "printed", "release"),
+    ),
+    WorldSpec(
+        name="star_trek", split=TEST_SPLIT, gap=0.3, entity_scale=1.5,
+        name_parts=("enterprise", "voyager", "picard", "spock", "klingon", "romulan",
+                     "vulcan", "ferengi", "borg", "starfleet", "bajor", "cardassia"),
+        topics=("warp", "phaser", "tricorder", "shuttle", "federation", "transporter",
+                 "nebula", "starbase", "ensign", "admiral", "anomaly", "diplomat"),
+    ),
+    WorldSpec(
+        name="yugioh", split=TEST_SPLIT, gap=0.6, entity_scale=0.45,
+        name_parts=("yugi", "kaiba", "joey", "exodia", "obelisk", "slifer",
+                     "millennium", "duelist", "pegasus", "marik", "jaden", "yusei"),
+        topics=("duel", "card", "monster", "trap", "spell", "summon",
+                 "tribute", "deck", "lifepoints", "fusion", "synchro", "archetype"),
+    ),
+)
+
+
+WORLDS: Dict[str, WorldSpec] = {spec.name: spec for spec in _WORLD_SPECS}
+
+TRAIN_DOMAINS: List[str] = [spec.name for spec in _WORLD_SPECS if spec.split == TRAIN_SPLIT]
+DEV_DOMAINS: List[str] = [spec.name for spec in _WORLD_SPECS if spec.split == DEV_SPLIT]
+TEST_DOMAINS: List[str] = [spec.name for spec in _WORLD_SPECS if spec.split == TEST_SPLIT]
+
+# Pretty names used when rendering paper-style tables.
+DISPLAY_NAMES: Dict[str, str] = {
+    "american_football": "American Football",
+    "doctor_who": "Doctor Who",
+    "fallout": "Fallout",
+    "final_fantasy": "Final Fantasy",
+    "military": "Military",
+    "pro_wrestling": "Pro Wrestling",
+    "starwars": "StarWars",
+    "world_of_warcraft": "World of Warcraft",
+    "coronation_street": "Coronation Street",
+    "muppets": "Muppets",
+    "ice_hockey": "Ice Hockey",
+    "elder_scrolls": "Elder Scrolls",
+    "forgotten_realms": "Forgotten Realms",
+    "lego": "Lego",
+    "star_trek": "Star Trek",
+    "yugioh": "YuGiOh",
+}
+
+
+def get_world(name: str) -> WorldSpec:
+    """Return the spec for ``name`` (raises KeyError with known names listed)."""
+    if name not in WORLDS:
+        known = ", ".join(sorted(WORLDS))
+        raise KeyError(f"unknown domain {name!r}; known domains: {known}")
+    return WORLDS[name]
+
+
+def domains_for_split(split: str) -> List[str]:
+    """Return the domain names belonging to a split (train / dev / test)."""
+    if split not in (TRAIN_SPLIT, DEV_SPLIT, TEST_SPLIT):
+        raise ValueError(f"unknown split {split!r}")
+    return [spec.name for spec in _WORLD_SPECS if spec.split == split]

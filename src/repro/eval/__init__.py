@@ -1,0 +1,27 @@
+"""Evaluation harness: metrics, protocol, experiment runners and reporting."""
+
+from .experiments import ExperimentSuite, small_experiment_config
+from .metrics import LinkingMetrics, accuracy_from_predictions, compute_metrics, macro_average
+from .protocol import (
+    EvaluationResult,
+    evaluate_meta_trainer,
+    evaluate_name_matching,
+    evaluate_pipeline,
+)
+from .reporting import format_metric_rows, format_table, markdown_table
+
+__all__ = [
+    "LinkingMetrics",
+    "compute_metrics",
+    "accuracy_from_predictions",
+    "macro_average",
+    "EvaluationResult",
+    "evaluate_pipeline",
+    "evaluate_meta_trainer",
+    "evaluate_name_matching",
+    "ExperimentSuite",
+    "small_experiment_config",
+    "format_table",
+    "format_metric_rows",
+    "markdown_table",
+]

@@ -1,0 +1,50 @@
+"""Synthetic-data generation: exact matching, mention rewriting, noise."""
+
+from .exact_match import (
+    EXACT_MATCH_SOURCE,
+    build_title_index,
+    exact_match_dataset,
+    generate_title_mentions,
+    match_mentions,
+)
+from .noise import NOISE_SOURCE, corrupt_pairs, mix_with_noise
+from .rewriter import REWRITTEN_SOURCE, MentionRewriter, RewriterTrainingSummary
+from .seq2seq import Seq2SeqBatch, Seq2SeqModel
+from .synthesis import (
+    DATA_SOURCE_EXACT,
+    DATA_SOURCE_SYN,
+    DATA_SOURCE_SYN_STAR,
+    SyntheticDataBundle,
+    build_bundle,
+    build_exact_match_data,
+    build_synthetic_data,
+    build_tokenizer_for_corpus,
+    source_domain_pairs,
+    train_rewriter,
+)
+
+__all__ = [
+    "EXACT_MATCH_SOURCE",
+    "REWRITTEN_SOURCE",
+    "NOISE_SOURCE",
+    "build_title_index",
+    "match_mentions",
+    "generate_title_mentions",
+    "exact_match_dataset",
+    "corrupt_pairs",
+    "mix_with_noise",
+    "MentionRewriter",
+    "RewriterTrainingSummary",
+    "Seq2SeqModel",
+    "Seq2SeqBatch",
+    "SyntheticDataBundle",
+    "build_bundle",
+    "build_exact_match_data",
+    "build_synthetic_data",
+    "build_tokenizer_for_corpus",
+    "source_domain_pairs",
+    "train_rewriter",
+    "DATA_SOURCE_EXACT",
+    "DATA_SOURCE_SYN",
+    "DATA_SOURCE_SYN_STAR",
+]

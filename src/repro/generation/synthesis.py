@@ -1,0 +1,164 @@
+"""Synthetic-data pipelines: Exact Match → Syn → Syn* (Figure 2, left half).
+
+This module wires the two-stage weak-supervision procedure together:
+
+1. **Exact matching** produces trivially aligned pairs in the target domain.
+2. **Mention rewriting** replaces each pair's surface form with a generated
+   paraphrase of the entity description.  The rewriter is trained on
+   source-domain supervision (``syn``), optionally followed by an
+   unsupervised denoising pass over target-domain documents (``syn*``).
+
+Every public helper returns plain lists of :class:`EntityMentionPair`, tagged
+with a ``source`` so downstream code (and Figure 4) can tell them apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..data.zeshel import Corpus
+from ..kb.entity import EntityMentionPair
+from ..text.tokenizer import Tokenizer
+from ..utils.config import RewriterConfig
+from ..utils.logging import get_logger
+from .exact_match import exact_match_dataset
+from .rewriter import MentionRewriter
+
+_LOGGER = get_logger("synthesis")
+
+DATA_SOURCE_EXACT = "exact_match"
+DATA_SOURCE_SYN = "syn"
+DATA_SOURCE_SYN_STAR = "syn_star"
+
+
+@dataclass
+class SyntheticDataBundle:
+    """All synthetic training sets for one target domain."""
+
+    domain: str
+    exact_match: List[EntityMentionPair]
+    syn: List[EntityMentionPair]
+    syn_star: List[EntityMentionPair] = field(default_factory=list)
+
+    def by_name(self, name: str) -> List[EntityMentionPair]:
+        """Look up a dataset by its paper name (``exact_match`` / ``syn`` / ``syn*``)."""
+        key = name.replace("*", "_star").lower()
+        if key == DATA_SOURCE_EXACT:
+            return list(self.exact_match)
+        if key == DATA_SOURCE_SYN:
+            return list(self.syn)
+        if key == DATA_SOURCE_SYN_STAR:
+            return list(self.syn_star)
+        raise KeyError(f"unknown synthetic dataset {name!r}")
+
+    def sizes(self) -> Dict[str, int]:
+        return {
+            "exact_match": len(self.exact_match),
+            "syn": len(self.syn),
+            "syn_star": len(self.syn_star),
+        }
+
+
+def build_tokenizer_for_corpus(corpus: Corpus, max_vocab_size: int = 4096, max_length: int = 48) -> Tokenizer:
+    """Build a tokenizer whose vocabulary covers the whole corpus."""
+    return Tokenizer.from_texts(corpus.all_texts(), max_vocab_size=max_vocab_size, max_length=max_length)
+
+
+def source_domain_pairs(corpus: Corpus, limit_per_domain: Optional[int] = None) -> List[EntityMentionPair]:
+    """Gold pairs from the 8 training domains (rewriter / general-domain training)."""
+    pairs: List[EntityMentionPair] = []
+    for domain in corpus.domain_names(split="train"):
+        domain_pairs = corpus.pairs(domain)
+        if limit_per_domain is not None:
+            domain_pairs = domain_pairs[:limit_per_domain]
+        pairs.extend(domain_pairs)
+    return pairs
+
+
+def train_rewriter(
+    corpus: Corpus,
+    tokenizer: Tokenizer,
+    target_domain: Optional[str] = None,
+    config: Optional[RewriterConfig] = None,
+    limit_per_domain: Optional[int] = 100,
+    seed: int = 0,
+) -> MentionRewriter:
+    """Train a mention rewriter on the source domains.
+
+    When ``target_domain`` is given the rewriter additionally runs the
+    unsupervised denoising pass over that domain's documents, producing the
+    ``syn*`` generator.
+    """
+    rewriter = MentionRewriter(tokenizer, config=config)
+    pairs = source_domain_pairs(corpus, limit_per_domain=limit_per_domain)
+    target_texts = corpus.documents.texts(target_domain) if target_domain else None
+    rewriter.fit(pairs, target_domain_texts=target_texts, seed=seed)
+    return rewriter
+
+
+def build_exact_match_data(
+    corpus: Corpus,
+    domain: str,
+    per_entity: int = 2,
+    seed: int = 13,
+) -> List[EntityMentionPair]:
+    """Stage 1: exact-matching weak supervision for one target domain."""
+    entities = corpus.entities(domain)
+    mentions = corpus.mentions(domain)
+    return exact_match_dataset(entities, mentions=mentions, per_entity=per_entity, seed=seed)
+
+
+def build_synthetic_data(
+    corpus: Corpus,
+    domain: str,
+    rewriter: MentionRewriter,
+    exact_pairs: Optional[Sequence[EntityMentionPair]] = None,
+    per_entity: int = 2,
+    seed: int = 13,
+) -> List[EntityMentionPair]:
+    """Stage 2: rewrite the exact-match pairs with the trained generator."""
+    pairs = list(exact_pairs) if exact_pairs is not None else build_exact_match_data(
+        corpus, domain, per_entity=per_entity, seed=seed
+    )
+    rewritten = rewriter.rewrite_pairs(pairs)
+    _LOGGER.debug("rewrote %d pairs for domain %s", len(rewritten), domain)
+    return rewritten
+
+
+def build_bundle(
+    corpus: Corpus,
+    domain: str,
+    tokenizer: Optional[Tokenizer] = None,
+    rewriter_config: Optional[RewriterConfig] = None,
+    per_entity: int = 2,
+    include_syn_star: bool = True,
+    limit_per_domain: Optional[int] = 100,
+    seed: int = 13,
+) -> SyntheticDataBundle:
+    """End-to-end generation of exact-match / syn / syn* data for one domain."""
+    tokenizer = tokenizer or build_tokenizer_for_corpus(corpus)
+    exact_pairs = build_exact_match_data(corpus, domain, per_entity=per_entity, seed=seed)
+
+    syn_rewriter = train_rewriter(
+        corpus, tokenizer, target_domain=None, config=rewriter_config,
+        limit_per_domain=limit_per_domain, seed=seed,
+    )
+    syn_pairs = build_synthetic_data(corpus, domain, syn_rewriter, exact_pairs=exact_pairs, seed=seed)
+
+    syn_star_pairs: List[EntityMentionPair] = []
+    if include_syn_star:
+        star_rewriter = train_rewriter(
+            corpus, tokenizer, target_domain=domain, config=rewriter_config,
+            limit_per_domain=limit_per_domain, seed=seed + 1,
+        )
+        syn_star_pairs = build_synthetic_data(
+            corpus, domain, star_rewriter, exact_pairs=exact_pairs, seed=seed + 1
+        )
+
+    return SyntheticDataBundle(
+        domain=domain,
+        exact_match=exact_pairs,
+        syn=syn_pairs,
+        syn_star=syn_star_pairs,
+    )

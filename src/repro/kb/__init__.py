@@ -1,0 +1,14 @@
+"""Knowledge-base substrate: entities, mentions, graphs and alias tables."""
+
+from .alias_table import AliasTable
+from .entity import Entity, EntityMentionPair, Mention
+from .knowledge_base import KnowledgeBase, Triple
+
+__all__ = [
+    "Entity",
+    "Mention",
+    "EntityMentionPair",
+    "KnowledgeBase",
+    "Triple",
+    "AliasTable",
+]

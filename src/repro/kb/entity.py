@@ -1,0 +1,110 @@
+"""Core data types: entities, mentions and (weakly) labelled pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A knowledge-base entity (a fandom page in the Zeshel setting).
+
+    Attributes
+    ----------
+    entity_id:
+        Globally unique identifier (``"<domain>:<index>"`` in the synthetic
+        corpus).
+    title:
+        Page title; may carry a parenthesised disambiguation phrase.
+    description:
+        First paragraph of the page — what the entity encoder reads.
+    domain:
+        The specialised dictionary (world) the entity belongs to.
+    entity_type:
+        Coarse semantic type used by the corpus generator (character, place,
+        item, ...); handy for analysis, never shown to the linker.
+    """
+
+    entity_id: str
+    title: str
+    description: str
+    domain: str
+    entity_type: str = "thing"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "entity_id": self.entity_id,
+            "title": self.title,
+            "description": self.description,
+            "domain": self.domain,
+            "entity_type": self.entity_type,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, str]) -> "Entity":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class Mention:
+    """A textual mention with its surrounding context.
+
+    ``context_left`` and ``context_right`` hold the words before/after the
+    surface form inside the source document, mirroring the Zeshel format.
+    """
+
+    mention_id: str
+    surface: str
+    context_left: str
+    context_right: str
+    domain: str
+    gold_entity_id: Optional[str] = None
+    source: str = "gold"
+
+    @property
+    def context(self) -> str:
+        """Full context with the surface form in place."""
+        return f"{self.context_left} {self.surface} {self.context_right}".strip()
+
+    def with_surface(self, new_surface: str, source: Optional[str] = None) -> "Mention":
+        """Return a copy with the surface form replaced (mention rewriting)."""
+        return replace(self, surface=new_surface, source=source or self.source)
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {
+            "mention_id": self.mention_id,
+            "surface": self.surface,
+            "context_left": self.context_left,
+            "context_right": self.context_right,
+            "domain": self.domain,
+            "gold_entity_id": self.gold_entity_id,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Optional[str]]) -> "Mention":
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class EntityMentionPair:
+    """A (mention, entity) training pair with provenance and an optional weight.
+
+    ``source`` records how the pair was produced — ``"gold"`` for annotated
+    data, ``"seed"`` for the few-shot seed set, ``"exact_match"`` /
+    ``"rewritten"`` for weak supervision, ``"noise"`` for the corrupted pairs
+    of Figure 4.  ``weight`` is the meta-learned importance (defaults to 1).
+    """
+
+    mention: Mention
+    entity: Entity
+    source: str = "gold"
+    weight: float = 1.0
+
+    def reweighted(self, weight: float) -> "EntityMentionPair":
+        return replace(self, weight=weight)
+
+    def relabelled(self, entity: Entity, source: Optional[str] = None) -> "EntityMentionPair":
+        """Return a copy linked to a different entity (used for noise injection)."""
+        return replace(self, entity=entity, source=source or self.source)

@@ -1,0 +1,194 @@
+"""Bi-encoder: dense retrieval stage of BLINK (Section IV-B1).
+
+Two transformer encoders independently embed the mention-in-context and the
+entity (title + description); the match score is the inner product of the two
+vectors (Eq. 5) and training maximises the gold pair against the other
+entities of the batch (the in-batch contrastive loss of Eq. 6).  Per-example
+weights enter the loss exactly where the meta-learning algorithm needs them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..kb.entity import Entity, EntityMentionPair, Mention
+from ..nn import Adam, Module, Tensor, TransformerEncoder, clip_grad_norm, no_grad
+from ..nn import functional as F
+from ..text.tokenizer import Tokenizer
+from ..utils.config import BiEncoderConfig
+from ..utils.logging import MetricHistory, get_logger
+from ..utils.rng import batched_indices
+from .candidates import EntityIndex
+from .encoders import encode_entity_inputs, encode_mention_inputs, encode_pair_batch
+
+_LOGGER = get_logger("biencoder")
+
+
+class BiEncoder(Module):
+    """Mention encoder + entity encoder with dot-product scoring."""
+
+    def __init__(self, config: BiEncoderConfig, tokenizer: Tokenizer) -> None:
+        super().__init__()
+        self.config = config
+        self.tokenizer = tokenizer
+        encoder_config = config.encoder
+        vocab_size = max(encoder_config.vocab_size, tokenizer.vocab_size)
+        self.mention_encoder = TransformerEncoder(
+            vocab_size=vocab_size,
+            model_dim=encoder_config.model_dim,
+            num_layers=encoder_config.num_layers,
+            num_heads=encoder_config.num_heads,
+            hidden_dim=encoder_config.hidden_dim,
+            max_length=encoder_config.max_length,
+            dropout=encoder_config.dropout,
+            padding_idx=tokenizer.pad_id,
+            seed=config.seed,
+        )
+        self.entity_encoder = TransformerEncoder(
+            vocab_size=vocab_size,
+            model_dim=encoder_config.model_dim,
+            num_layers=encoder_config.num_layers,
+            num_heads=encoder_config.num_heads,
+            hidden_dim=encoder_config.hidden_dim,
+            max_length=encoder_config.max_length,
+            dropout=encoder_config.dropout,
+            padding_idx=tokenizer.pad_id,
+            seed=config.seed + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode_mention_ids(self, mention_ids: np.ndarray) -> Tensor:
+        return F.normalize(self.mention_encoder.encode(mention_ids))
+
+    def encode_entity_ids(self, entity_ids: np.ndarray) -> Tensor:
+        return F.normalize(self.entity_encoder.encode(entity_ids))
+
+    def embed_mentions(self, mentions: Sequence[Mention]) -> np.ndarray:
+        """Inference-time mention embeddings (no autodiff graph)."""
+        ids = encode_mention_inputs(mentions, self.tokenizer, self.config.encoder.max_length)
+        self.eval()
+        with no_grad():
+            return self.encode_mention_ids(ids).data.copy()
+
+    def embed_entities(self, entities: Sequence[Entity]) -> np.ndarray:
+        """Inference-time entity embeddings (no autodiff graph)."""
+        ids = encode_entity_inputs(entities, self.tokenizer, self.config.encoder.max_length)
+        self.eval()
+        with no_grad():
+            return self.encode_entity_ids(ids).data.copy()
+
+    def build_index(self, entities: Sequence[Entity], batch_size: int = 64) -> EntityIndex:
+        """Embed all entities and wrap them in an :class:`EntityIndex`."""
+        entities = list(entities)
+        vectors: List[np.ndarray] = []
+        for start in range(0, len(entities), batch_size):
+            vectors.append(self.embed_entities(entities[start:start + batch_size]))
+        return EntityIndex(entities, np.concatenate(vectors, axis=0))
+
+    # ------------------------------------------------------------------
+    # Loss
+    # ------------------------------------------------------------------
+    def batch_loss(
+        self,
+        mention_ids: np.ndarray,
+        entity_ids: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+        reduction: str = "mean",
+    ):
+        """In-batch contrastive loss (Eq. 6) with optional per-example weights."""
+        mention_vectors = self.encode_mention_ids(mention_ids)
+        entity_vectors = self.encode_entity_ids(entity_ids)
+        # Scores of every mention against every entity in the batch; the
+        # temperature sharpens the distribution since vectors are unit norm.
+        scores = mention_vectors.matmul(entity_vectors.T) * 10.0
+        targets = np.arange(len(mention_ids))
+        return F.cross_entropy(scores, targets, reduction=reduction, sample_weights=sample_weights)
+
+    def pairs_loss(self, pairs: Sequence[EntityMentionPair], reduction: str = "mean"):
+        """Convenience wrapper computing the loss directly from pairs."""
+        batch = encode_pair_batch(pairs, self.tokenizer, self.config.encoder.max_length)
+        weights = batch.weights if not np.allclose(batch.weights, 1.0) else None
+        return self.batch_loss(batch.mention_ids, batch.entity_ids, sample_weights=weights,
+                               reduction=reduction)
+
+    def pairs_loss_with_negatives(
+        self,
+        pairs: Sequence[EntityMentionPair],
+        negatives: Sequence[Entity],
+        reduction: str = "mean",
+    ):
+        """Contrastive loss of each pair against a *fixed* negative entity set.
+
+        Unlike the in-batch loss, this is well defined for a single pair, which
+        is what the meta-learning reweighter needs when it computes exact
+        per-example gradients (the in-batch loss of a batch of one is
+        identically zero).
+        """
+        if not negatives:
+            raise ValueError("negative entity list must not be empty")
+        batch = encode_pair_batch(pairs, self.tokenizer, self.config.encoder.max_length)
+        negative_ids = encode_entity_inputs(negatives, self.tokenizer, self.config.encoder.max_length)
+
+        mention_vectors = self.encode_mention_ids(batch.mention_ids)
+        gold_vectors = self.encode_entity_ids(batch.entity_ids)
+        negative_vectors = self.encode_entity_ids(negative_ids)
+
+        gold_scores = (mention_vectors * gold_vectors).sum(axis=-1, keepdims=True) * 10.0
+        negative_scores = mention_vectors.matmul(negative_vectors.T) * 10.0
+        from ..nn import concatenate as concat_tensors
+
+        scores = concat_tensors([gold_scores, negative_scores], axis=1)
+        targets = np.zeros(len(pairs), dtype=np.int64)
+        weights = batch.weights if not np.allclose(batch.weights, 1.0) else None
+        return F.cross_entropy(scores, targets, reduction=reduction, sample_weights=weights)
+
+
+class BiEncoderTrainer:
+    """Standard (non-meta) training loop for the bi-encoder."""
+
+    def __init__(self, model: BiEncoder, config: Optional[BiEncoderConfig] = None) -> None:
+        self.model = model
+        self.config = config or model.config
+
+    def fit(
+        self,
+        pairs: Sequence[EntityMentionPair],
+        epochs: Optional[int] = None,
+        seed: int = 0,
+    ) -> MetricHistory:
+        """Train on weighted pairs with Adam; returns per-epoch mean loss."""
+        if not pairs:
+            raise ValueError("cannot train on an empty pair list")
+        epochs = self.config.epochs if epochs is None else epochs
+        batch = encode_pair_batch(pairs, self.model.tokenizer, self.config.encoder.max_length)
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        history = MetricHistory()
+        rng = np.random.default_rng(seed)
+
+        self.model.train()
+        for epoch in range(epochs):
+            losses: List[float] = []
+            for index_batch in batched_indices(len(batch), self.config.batch_size, rng):
+                if len(index_batch) < 2:
+                    continue  # in-batch negatives need at least two examples
+                weights = batch.weights[index_batch]
+                sample_weights = None if np.allclose(weights, 1.0) else weights
+                loss = self.model.batch_loss(
+                    batch.mention_ids[index_batch],
+                    batch.entity_ids[index_batch],
+                    sample_weights=sample_weights,
+                )
+                self.model.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
+                optimizer.step()
+                losses.append(loss.item())
+            mean_loss = float(np.mean(losses)) if losses else float("nan")
+            history.add("loss", mean_loss)
+            _LOGGER.debug("bi-encoder epoch %d loss %.4f", epoch, mean_loss)
+        self.model.eval()
+        return history

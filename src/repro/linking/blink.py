@@ -1,0 +1,146 @@
+"""BLINK-style two-stage linking pipeline (Wu et al., 2020).
+
+``BlinkPipeline`` bundles a bi-encoder (candidate generation) and a
+cross-encoder (candidate ranking).  The evaluation protocol follows the paper:
+
+* Recall@k measures the candidate-generation stage;
+* normalised accuracy (N.Acc) measures ranking *given* that the gold entity
+  was retrieved;
+* unnormalised accuracy (U.Acc) = recall × N.Acc measures the full pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..kb.entity import Entity, EntityMentionPair, Mention
+from ..text.tokenizer import Tokenizer
+from ..utils.config import BiEncoderConfig, CrossEncoderConfig
+from ..utils.logging import MetricHistory, get_logger
+from .biencoder import BiEncoder, BiEncoderTrainer
+from .candidates import EntityIndex
+from .crossencoder import CrossEncoder, CrossEncoderTrainer, build_ranking_examples
+from .encoders import unique_entities
+
+_LOGGER = get_logger("blink")
+
+
+@dataclass
+class LinkingPrediction:
+    """Two-stage outcome for one mention."""
+
+    mention_id: str
+    gold_entity_id: Optional[str]
+    candidate_ids: List[str]
+    predicted_entity_id: Optional[str]
+
+    @property
+    def gold_in_candidates(self) -> bool:
+        return self.gold_entity_id is not None and self.gold_entity_id in self.candidate_ids
+
+    @property
+    def correct(self) -> bool:
+        return (
+            self.predicted_entity_id is not None
+            and self.gold_entity_id is not None
+            and self.predicted_entity_id == self.gold_entity_id
+        )
+
+
+@dataclass
+class TrainingReport:
+    """Loss histories for the two stages."""
+
+    biencoder: Optional[MetricHistory] = None
+    crossencoder: Optional[MetricHistory] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class BlinkPipeline:
+    """Bi-encoder + cross-encoder entity linker."""
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer,
+        biencoder_config: Optional[BiEncoderConfig] = None,
+        crossencoder_config: Optional[CrossEncoderConfig] = None,
+    ) -> None:
+        self.tokenizer = tokenizer
+        self.biencoder_config = biencoder_config or BiEncoderConfig()
+        self.crossencoder_config = crossencoder_config or CrossEncoderConfig()
+        self.biencoder = BiEncoder(self.biencoder_config, tokenizer)
+        self.crossencoder = CrossEncoder(self.crossencoder_config, tokenizer)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        pairs: Sequence[EntityMentionPair],
+        candidate_pool: Optional[Sequence[Entity]] = None,
+        train_biencoder: bool = True,
+        train_crossencoder: bool = True,
+        max_crossencoder_examples: Optional[int] = 80,
+        seed: int = 0,
+    ) -> TrainingReport:
+        """Train both stages on (weighted) pairs.
+
+        ``candidate_pool`` supplies negatives for cross-encoder training; it
+        defaults to the distinct entities present in ``pairs``.
+        """
+        if not pairs:
+            raise ValueError("cannot train BLINK on an empty pair list")
+        report = TrainingReport()
+        if train_biencoder:
+            report.biencoder = BiEncoderTrainer(self.biencoder, self.biencoder_config).fit(pairs, seed=seed)
+        if train_crossencoder:
+            pool = list(candidate_pool) if candidate_pool is not None else unique_entities(pairs)
+            ranking_pairs = list(pairs)
+            if max_crossencoder_examples is not None and len(ranking_pairs) > max_crossencoder_examples:
+                ranking_pairs = ranking_pairs[:max_crossencoder_examples]
+            examples = build_ranking_examples(
+                ranking_pairs, pool, self.crossencoder_config.num_candidates, seed=seed
+            )
+            report.crossencoder = CrossEncoderTrainer(self.crossencoder, self.crossencoder_config).fit(
+                examples, seed=seed
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def build_index(self, entities: Sequence[Entity]) -> EntityIndex:
+        return self.biencoder.build_index(entities)
+
+    def predict(
+        self,
+        mentions: Sequence[Mention],
+        entities: Sequence[Entity],
+        k: int = 16,
+        index: Optional[EntityIndex] = None,
+        rerank: bool = True,
+    ) -> List[LinkingPrediction]:
+        """Run the two-stage pipeline over mentions against an entity set."""
+        if not mentions:
+            return []
+        index = index if index is not None else self.build_index(entities)
+        query_vectors = self.biencoder.embed_mentions(mentions)
+        retrievals = index.search(query_vectors, k=k)
+
+        predictions: List[LinkingPrediction] = []
+        for mention, retrieval in zip(mentions, retrievals):
+            candidates = [index.entity(entity_id) for entity_id in retrieval.entity_ids]
+            if rerank and candidates:
+                best = self.crossencoder.predict(mention, candidates)
+            else:
+                best = candidates[0] if candidates else None
+            predictions.append(
+                LinkingPrediction(
+                    mention_id=mention.mention_id,
+                    gold_entity_id=mention.gold_entity_id,
+                    candidate_ids=list(retrieval.entity_ids),
+                    predicted_entity_id=best.entity_id if best is not None else None,
+                )
+            )
+        return predictions

@@ -1,0 +1,243 @@
+"""Cross-encoder: candidate-ranking stage of BLINK (Section IV-B1).
+
+The cross-encoder reads the concatenation of the mention-in-context and one
+candidate entity and produces a scalar relevance score; ranking the candidates
+retrieved by the bi-encoder with these scores yields the final prediction.
+Training maximises the gold candidate against the other retrieved candidates
+(softmax cross entropy over the candidate list), again with optional
+per-example weights for the meta-learning loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..kb.entity import Entity, EntityMentionPair, Mention
+from ..nn import Adam, Linear, Module, Tensor, TransformerEncoder, clip_grad_norm, concatenate, no_grad
+from ..nn import functional as F
+from ..text.normalization import normalize_text, simple_tokenize, strip_disambiguation
+from ..text.tokenizer import Tokenizer
+from ..utils.config import CrossEncoderConfig
+from ..utils.logging import MetricHistory, get_logger
+from ..utils.rng import batched_indices, derive_seed
+from .encoders import encode_cross_inputs
+
+_LOGGER = get_logger("crossencoder")
+
+NUM_LEXICAL_FEATURES = 3
+
+# The interaction features live in [0, 1] while pooled transformer activations
+# are an order of magnitude larger; scaling the features keeps the scoring
+# head from ignoring them early in training.
+LEXICAL_FEATURE_SCALE = 5.0
+
+
+def lexical_features(mention: Mention, candidate: Entity) -> np.ndarray:
+    """Hand-crafted mention/candidate interaction features.
+
+    A pre-trained BERT cross-encoder captures lexical interactions between the
+    mention side and the entity side implicitly; the tiny from-scratch encoder
+    used offline cannot, so we expose three explicit interaction signals to
+    the scoring head (the head still has to *learn* how much to trust them):
+
+    1. surface ↔ title token overlap (the exact-match shortcut),
+    2. context ↔ description token overlap (the semantic signal),
+    3. exact title match indicator.
+    """
+    surface_tokens = set(simple_tokenize(mention.surface))
+    title_tokens = set(simple_tokenize(candidate.title))
+    context_tokens = set(simple_tokenize(f"{mention.context_left} {mention.context_right}"))
+    description_tokens = set(simple_tokenize(candidate.description))
+
+    def jaccard(left: set, right: set) -> float:
+        if not left or not right:
+            return 0.0
+        return len(left & right) / len(left | right)
+
+    exact = float(
+        normalize_text(mention.surface) in {
+            normalize_text(candidate.title),
+            normalize_text(strip_disambiguation(candidate.title)),
+        }
+    )
+    return np.array([jaccard(surface_tokens, title_tokens),
+                     jaccard(context_tokens, description_tokens),
+                     exact], dtype=np.float64)
+
+
+@dataclass
+class RankingExample:
+    """One training example: a mention, its candidates, and the gold index."""
+
+    mention: Mention
+    candidates: List[Entity]
+    gold_index: int
+    weight: float = 1.0
+
+
+class CrossEncoder(Module):
+    """Single-tower encoder over concatenated mention/entity text + score head."""
+
+    def __init__(self, config: CrossEncoderConfig, tokenizer: Tokenizer) -> None:
+        super().__init__()
+        self.config = config
+        self.tokenizer = tokenizer
+        encoder_config = config.encoder
+        vocab_size = max(encoder_config.vocab_size, tokenizer.vocab_size)
+        self.encoder = TransformerEncoder(
+            vocab_size=vocab_size,
+            model_dim=encoder_config.model_dim,
+            num_layers=encoder_config.num_layers,
+            num_heads=encoder_config.num_heads,
+            hidden_dim=encoder_config.hidden_dim,
+            max_length=encoder_config.max_length,
+            dropout=encoder_config.dropout,
+            padding_idx=tokenizer.pad_id,
+            seed=config.seed,
+        )
+        self.score_head = Linear(
+            encoder_config.model_dim + NUM_LEXICAL_FEATURES,
+            1,
+            rng=np.random.default_rng(config.seed + 7),
+        )
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def scores_from_ids(self, cross_ids: np.ndarray, features: Optional[np.ndarray] = None) -> Tensor:
+        """Scalar score for each row of concatenated mention/candidate ids."""
+        pooled = self.encoder.encode(cross_ids)
+        if features is None:
+            features = np.zeros((len(cross_ids), NUM_LEXICAL_FEATURES))
+        combined = concatenate([pooled, Tensor(np.asarray(features, dtype=np.float64))], axis=1)
+        return self.score_head(combined).reshape(len(cross_ids))
+
+    def _candidate_features(self, mention: Mention, candidates: Sequence[Entity]) -> np.ndarray:
+        features = np.stack([lexical_features(mention, candidate) for candidate in candidates])
+        return features * LEXICAL_FEATURE_SCALE
+
+    def score_candidates(self, mention: Mention, candidates: Sequence[Entity]) -> np.ndarray:
+        """Inference-time candidate scores for one mention."""
+        ids = encode_cross_inputs(mention, candidates, self.tokenizer, self.config.encoder.max_length)
+        features = self._candidate_features(mention, candidates)
+        self.eval()
+        with no_grad():
+            return self.scores_from_ids(ids, features).data.copy()
+
+    def rank(self, mention: Mention, candidates: Sequence[Entity]) -> List[Entity]:
+        """Candidates sorted by decreasing score."""
+        scores = self.score_candidates(mention, candidates)
+        order = np.argsort(-scores)
+        return [candidates[i] for i in order]
+
+    def predict(self, mention: Mention, candidates: Sequence[Entity]) -> Optional[Entity]:
+        """Best candidate, or None when the candidate list is empty."""
+        if not candidates:
+            return None
+        return self.rank(mention, candidates)[0]
+
+    # ------------------------------------------------------------------
+    # Loss
+    # ------------------------------------------------------------------
+    def example_loss(self, example: RankingExample):
+        """Cross entropy of the gold candidate within the candidate list."""
+        ids = encode_cross_inputs(
+            example.mention, example.candidates, self.tokenizer, self.config.encoder.max_length
+        )
+        features = self._candidate_features(example.mention, example.candidates)
+        scores = self.scores_from_ids(ids, features).reshape(1, len(example.candidates))
+        return F.cross_entropy(scores, [example.gold_index], reduction="sum")
+
+
+def build_ranking_examples(
+    pairs: Sequence[EntityMentionPair],
+    candidate_pool: Sequence[Entity],
+    num_candidates: int,
+    seed: int = 0,
+) -> List[RankingExample]:
+    """Create ranking examples with random negatives from ``candidate_pool``.
+
+    The gold entity always occupies a random slot among ``num_candidates``
+    candidates; negatives are sampled without replacement from the pool.
+    """
+    if num_candidates < 2:
+        raise ValueError("num_candidates must be at least 2")
+    pool = [entity for entity in candidate_pool]
+    if len(pool) < 2:
+        raise ValueError("candidate pool must contain at least two entities")
+    examples: List[RankingExample] = []
+    for pair_index, pair in enumerate(pairs):
+        rng = np.random.default_rng(derive_seed(seed, "ranking", pair.mention.mention_id, str(pair_index)))
+        negatives: List[Entity] = []
+        attempts = 0
+        while len(negatives) < num_candidates - 1 and attempts < 10 * num_candidates:
+            candidate = pool[int(rng.integers(0, len(pool)))]
+            attempts += 1
+            if candidate.entity_id == pair.entity.entity_id:
+                continue
+            if any(candidate.entity_id == chosen.entity_id for chosen in negatives):
+                continue
+            negatives.append(candidate)
+        candidates = negatives + [pair.entity]
+        gold_position = int(rng.integers(0, len(candidates)))
+        candidates[gold_position], candidates[-1] = candidates[-1], candidates[gold_position]
+        examples.append(
+            RankingExample(
+                mention=pair.mention,
+                candidates=candidates,
+                gold_index=gold_position,
+                weight=pair.weight,
+            )
+        )
+    return examples
+
+
+class CrossEncoderTrainer:
+    """Training loop over :class:`RankingExample` lists."""
+
+    def __init__(self, model: CrossEncoder, config: Optional[CrossEncoderConfig] = None) -> None:
+        self.model = model
+        self.config = config or model.config
+
+    def fit(
+        self,
+        examples: Sequence[RankingExample],
+        epochs: Optional[int] = None,
+        seed: int = 0,
+    ) -> MetricHistory:
+        """Train with Adam; per-example weights scale each example's loss."""
+        if not examples:
+            raise ValueError("cannot train on an empty example list")
+        epochs = self.config.epochs if epochs is None else epochs
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        history = MetricHistory()
+        rng = np.random.default_rng(seed)
+        examples = list(examples)
+
+        self.model.train()
+        for epoch in range(epochs):
+            losses: List[float] = []
+            for index_batch in batched_indices(len(examples), self.config.batch_size, rng):
+                batch_examples = [examples[i] for i in index_batch]
+                total = None
+                weight_sum = 0.0
+                for example in batch_examples:
+                    example_loss = self.model.example_loss(example) * example.weight
+                    total = example_loss if total is None else total + example_loss
+                    weight_sum += example.weight
+                if total is None or weight_sum == 0.0:
+                    continue
+                loss = total * (1.0 / max(weight_sum, 1e-8))
+                self.model.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
+                optimizer.step()
+                losses.append(loss.item())
+            mean_loss = float(np.mean(losses)) if losses else float("nan")
+            history.add("loss", mean_loss)
+            _LOGGER.debug("cross-encoder epoch %d loss %.4f", epoch, mean_loss)
+        self.model.eval()
+        return history

@@ -1,0 +1,109 @@
+"""Input-encoding helpers shared by the bi-encoder and cross-encoder.
+
+The models operate on integer id matrices; these helpers turn
+:class:`~repro.kb.entity.EntityMentionPair` lists (and raw mentions/entities)
+into those matrices using a :class:`~repro.text.tokenizer.Tokenizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..kb.entity import Entity, EntityMentionPair, Mention
+from ..text.tokenizer import Tokenizer
+
+
+@dataclass
+class PairBatch:
+    """Aligned mention / entity id matrices plus per-pair weights."""
+
+    mention_ids: np.ndarray
+    entity_ids: np.ndarray
+    weights: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.mention_ids)
+
+
+def encode_mention_inputs(
+    mentions: Sequence[Mention],
+    tokenizer: Tokenizer,
+    max_length: Optional[int] = None,
+) -> np.ndarray:
+    """Encode mention-in-context inputs for the mention encoder."""
+    return np.stack(
+        [
+            tokenizer.encode_mention(
+                mention.surface,
+                left_context=mention.context_left,
+                right_context=mention.context_right,
+                max_length=max_length,
+            )
+            for mention in mentions
+        ]
+    )
+
+
+def encode_entity_inputs(
+    entities: Sequence[Entity],
+    tokenizer: Tokenizer,
+    max_length: Optional[int] = None,
+) -> np.ndarray:
+    """Encode ``title <sep> description`` inputs for the entity encoder."""
+    return np.stack(
+        [
+            tokenizer.encode_entity(entity.title, entity.description, max_length=max_length)
+            for entity in entities
+        ]
+    )
+
+
+def encode_pair_batch(
+    pairs: Sequence[EntityMentionPair],
+    tokenizer: Tokenizer,
+    max_length: Optional[int] = None,
+) -> PairBatch:
+    """Encode aligned (mention, entity) pairs with their weights."""
+    if not pairs:
+        raise ValueError("cannot encode an empty pair list")
+    mention_ids = encode_mention_inputs([pair.mention for pair in pairs], tokenizer, max_length)
+    entity_ids = encode_entity_inputs([pair.entity for pair in pairs], tokenizer, max_length)
+    weights = np.array([pair.weight for pair in pairs], dtype=np.float64)
+    return PairBatch(mention_ids=mention_ids, entity_ids=entity_ids, weights=weights)
+
+
+def encode_cross_inputs(
+    mention: Mention,
+    candidates: Sequence[Entity],
+    tokenizer: Tokenizer,
+    max_length: Optional[int] = None,
+) -> np.ndarray:
+    """Encode one mention against each candidate entity for the cross-encoder."""
+    return np.stack(
+        [
+            tokenizer.encode_cross(
+                mention.surface,
+                mention.context_left,
+                mention.context_right,
+                candidate.title,
+                candidate.description,
+                max_length=max_length,
+            )
+            for candidate in candidates
+        ]
+    )
+
+
+def unique_entities(pairs: Sequence[EntityMentionPair]) -> List[Entity]:
+    """Distinct entities appearing in a pair list (stable order)."""
+    seen = set()
+    ordered: List[Entity] = []
+    for pair in pairs:
+        if pair.entity.entity_id in seen:
+            continue
+        seen.add(pair.entity.entity_id)
+        ordered.append(pair.entity)
+    return ordered

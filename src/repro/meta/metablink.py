@@ -1,0 +1,298 @@
+"""MetaBLINK: meta-learning enhanced entity linking (Algorithms 1 and 2).
+
+``MetaBiEncoderTrainer`` and ``MetaCrossEncoderTrainer`` implement Algorithm 1
+for the two BLINK stages: every step reweights the synthetic batch using the
+seed batch (via :class:`~repro.meta.reweight.ExampleReweighter`) and then
+applies a normal optimiser update with the weighted loss (Eq. 15).
+
+``MetaBlinkTrainer`` implements Algorithm 2: it owns a
+:class:`~repro.linking.blink.BlinkPipeline` and trains both stages on the
+synthetic data ``D_f`` under the supervision of the seed set ``D_g``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..kb.entity import Entity, EntityMentionPair
+from ..linking.biencoder import BiEncoder
+from ..linking.blink import BlinkPipeline
+from ..linking.crossencoder import CrossEncoder, RankingExample, build_ranking_examples
+from ..linking.encoders import unique_entities
+from ..nn import Adam, clip_grad_norm
+from ..text.tokenizer import Tokenizer
+from ..utils.config import BiEncoderConfig, CrossEncoderConfig, MetaConfig
+from ..utils.logging import MetricHistory, get_logger
+from ..utils.rng import batched_indices
+from .reweight import ExampleReweighter
+
+_LOGGER = get_logger("metablink")
+
+
+@dataclass
+class MetaTrainingReport:
+    """Diagnostics collected while training MetaBLINK."""
+
+    biencoder_loss: Optional[MetricHistory] = None
+    crossencoder_loss: Optional[MetricHistory] = None
+    mean_selected_fraction: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class MetaBiEncoderTrainer:
+    """Algorithm 1 applied to the bi-encoder stage.
+
+    ``negative_entities`` supplies a fixed negative pool for the per-example
+    loss used by the reweighter (the in-batch loss degenerates for single
+    examples); it defaults to the entities of the seed pairs at fit time.
+    """
+
+    def __init__(
+        self,
+        model: BiEncoder,
+        config: Optional[BiEncoderConfig] = None,
+        meta_config: Optional[MetaConfig] = None,
+        negative_entities: Optional[Sequence[Entity]] = None,
+        max_negatives: int = 16,
+    ) -> None:
+        self.model = model
+        self.config = config or model.config
+        self.meta_config = meta_config or MetaConfig()
+        self.max_negatives = max_negatives
+        self._negatives: List[Entity] = list(negative_entities or [])[:max_negatives]
+        self.reweighter = ExampleReweighter(model, self._loss_fn, self.meta_config)
+
+    def _loss_fn(self, pairs: Sequence[EntityMentionPair], reduction: str = "sum"):
+        if self._negatives:
+            return self.model.pairs_loss_with_negatives(pairs, self._negatives, reduction=reduction)
+        return self.model.pairs_loss(pairs, reduction=reduction)
+
+    def fit(
+        self,
+        synthetic_pairs: Sequence[EntityMentionPair],
+        seed_pairs: Sequence[EntityMentionPair],
+        epochs: Optional[int] = None,
+        seed: int = 0,
+    ) -> MetricHistory:
+        """Train the bi-encoder on weighted synthetic batches (Alg. 1)."""
+        if not synthetic_pairs:
+            raise ValueError("synthetic pair list must not be empty")
+        if not seed_pairs:
+            raise ValueError("seed pair list must not be empty")
+        epochs = self.config.epochs if epochs is None else epochs
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        history = MetricHistory()
+        rng = np.random.default_rng(seed)
+        synthetic_pairs = list(synthetic_pairs)
+        seed_pairs = list(seed_pairs)
+        if not self._negatives:
+            self._negatives = unique_entities(seed_pairs)[: self.max_negatives]
+        selected_fractions: List[float] = []
+
+        self.model.train()
+        for epoch in range(epochs):
+            losses: List[float] = []
+            for index_batch in batched_indices(len(synthetic_pairs), self.config.batch_size, rng):
+                if len(index_batch) < 2:
+                    continue
+                batch = [synthetic_pairs[i] for i in index_batch]
+                seed_batch_size = min(self.meta_config.seed_batch_size, len(seed_pairs))
+                seed_indices = rng.choice(len(seed_pairs), size=seed_batch_size, replace=False)
+                seed_batch = [seed_pairs[i] for i in seed_indices]
+
+                result = self.reweighter.compute_weights(batch, seed_batch)
+                selected_fractions.append(result.selected_fraction)
+                if result.weights.sum() <= 0:
+                    continue  # nothing in this batch helps the seed loss
+                weighted_batch = [
+                    pair.reweighted(weight) for pair, weight in zip(batch, result.weights)
+                ]
+                loss = self.model.pairs_loss(weighted_batch, reduction="sum")
+                self.model.zero_grad()
+                loss.backward()
+                clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
+                optimizer.step()
+                losses.append(loss.item())
+            mean_loss = float(np.mean(losses)) if losses else float("nan")
+            history.add("loss", mean_loss)
+            _LOGGER.debug("meta bi-encoder epoch %d loss %.4f", epoch, mean_loss)
+        history.add("selected_fraction", float(np.mean(selected_fractions)) if selected_fractions else 0.0)
+        self.model.eval()
+        return history
+
+
+class MetaCrossEncoderTrainer:
+    """Algorithm 1 applied to the cross-encoder (ranking) stage."""
+
+    def __init__(
+        self,
+        model: CrossEncoder,
+        config: Optional[CrossEncoderConfig] = None,
+        meta_config: Optional[MetaConfig] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or model.config
+        self.meta_config = meta_config or MetaConfig()
+        self.reweighter = ExampleReweighter(model, self._loss_fn, self.meta_config)
+
+    def _loss_fn(self, examples: Sequence[RankingExample], reduction: str = "sum"):
+        losses = [self.model.example_loss(example) for example in examples]
+        total = losses[0]
+        for item in losses[1:]:
+            total = total + item
+        if reduction == "mean":
+            return total * (1.0 / len(losses))
+        if reduction == "sum":
+            return total
+        if reduction == "none":
+            from ..nn import stack_tensors
+
+            return stack_tensors([loss.reshape(1)[0] for loss in losses])
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def fit(
+        self,
+        synthetic_examples: Sequence[RankingExample],
+        seed_examples: Sequence[RankingExample],
+        epochs: Optional[int] = None,
+        seed: int = 0,
+    ) -> MetricHistory:
+        """Train the cross-encoder on weighted synthetic ranking examples."""
+        if not synthetic_examples:
+            raise ValueError("synthetic example list must not be empty")
+        if not seed_examples:
+            raise ValueError("seed example list must not be empty")
+        epochs = self.config.epochs if epochs is None else epochs
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        history = MetricHistory()
+        rng = np.random.default_rng(seed)
+        synthetic_examples = list(synthetic_examples)
+        seed_examples = list(seed_examples)
+        selected_fractions: List[float] = []
+
+        self.model.train()
+        for epoch in range(epochs):
+            losses: List[float] = []
+            for index_batch in batched_indices(len(synthetic_examples), self.config.batch_size, rng):
+                if len(index_batch) < 2:
+                    continue
+                batch = [synthetic_examples[i] for i in index_batch]
+                seed_batch_size = min(self.meta_config.seed_batch_size, len(seed_examples))
+                seed_indices = rng.choice(len(seed_examples), size=seed_batch_size, replace=False)
+                seed_batch = [seed_examples[i] for i in seed_indices]
+
+                result = self.reweighter.compute_weights(batch, seed_batch)
+                selected_fractions.append(result.selected_fraction)
+                if result.weights.sum() <= 0:
+                    continue
+                total = None
+                for example, weight in zip(batch, result.weights):
+                    if weight <= 0:
+                        continue
+                    term = self.model.example_loss(example) * float(weight)
+                    total = term if total is None else total + term
+                if total is None:
+                    continue
+                self.model.zero_grad()
+                total.backward()
+                clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
+                optimizer.step()
+                losses.append(total.item())
+            mean_loss = float(np.mean(losses)) if losses else float("nan")
+            history.add("loss", mean_loss)
+            _LOGGER.debug("meta cross-encoder epoch %d loss %.4f", epoch, mean_loss)
+        history.add("selected_fraction", float(np.mean(selected_fractions)) if selected_fractions else 0.0)
+        self.model.eval()
+        return history
+
+
+class MetaBlinkTrainer:
+    """Algorithm 2: train a full MetaBLINK pipeline on Df (synthetic) + Dg (seed)."""
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer,
+        biencoder_config: Optional[BiEncoderConfig] = None,
+        crossencoder_config: Optional[CrossEncoderConfig] = None,
+        meta_config: Optional[MetaConfig] = None,
+    ) -> None:
+        self.tokenizer = tokenizer
+        self.biencoder_config = biencoder_config or BiEncoderConfig()
+        self.crossencoder_config = crossencoder_config or CrossEncoderConfig()
+        self.meta_config = meta_config or MetaConfig()
+        self.pipeline = BlinkPipeline(tokenizer, self.biencoder_config, self.crossencoder_config)
+
+    def train(
+        self,
+        synthetic_pairs: Sequence[EntityMentionPair],
+        seed_pairs: Sequence[EntityMentionPair],
+        candidate_pool: Optional[Sequence[Entity]] = None,
+        max_crossencoder_examples: Optional[int] = 80,
+        train_crossencoder: bool = True,
+        finetune_on_seed: bool = True,
+        seed: int = 0,
+    ) -> MetaTrainingReport:
+        """Train both stages with meta-reweighting and return diagnostics.
+
+        ``finetune_on_seed`` runs one final standard epoch over the seed pairs
+        after the meta-weighted training — the seed set is clean in-domain
+        supervision, so using it directly (in addition to using it for
+        weighting) combines the strengths of synthetic and seed data the way
+        the paper describes.
+        """
+        report = MetaTrainingReport()
+        negatives = list(candidate_pool) if candidate_pool is not None else None
+        bi_trainer = MetaBiEncoderTrainer(
+            self.pipeline.biencoder,
+            self.biencoder_config,
+            self.meta_config,
+            negative_entities=negatives,
+        )
+        report.biencoder_loss = bi_trainer.fit(synthetic_pairs, seed_pairs, seed=seed)
+
+        selected = [report.biencoder_loss.last("selected_fraction")]
+        if train_crossencoder:
+            pool = list(candidate_pool) if candidate_pool is not None else unique_entities(
+                list(synthetic_pairs) + list(seed_pairs)
+            )
+            ranking_pairs = list(synthetic_pairs)
+            if max_crossencoder_examples is not None and len(ranking_pairs) > max_crossencoder_examples:
+                ranking_pairs = ranking_pairs[:max_crossencoder_examples]
+            synthetic_examples = build_ranking_examples(
+                ranking_pairs, pool, self.crossencoder_config.num_candidates, seed=seed
+            )
+            seed_examples = build_ranking_examples(
+                list(seed_pairs), pool, self.crossencoder_config.num_candidates, seed=seed + 1
+            )
+            cross_trainer = MetaCrossEncoderTrainer(
+                self.pipeline.crossencoder, self.crossencoder_config, self.meta_config
+            )
+            report.crossencoder_loss = cross_trainer.fit(synthetic_examples, seed_examples, seed=seed)
+            selected.append(report.crossencoder_loss.last("selected_fraction"))
+        report.mean_selected_fraction = float(np.mean(selected))
+
+        if finetune_on_seed:
+            from ..linking.biencoder import BiEncoderTrainer
+            from ..linking.crossencoder import CrossEncoderTrainer
+
+            BiEncoderTrainer(self.pipeline.biencoder, self.biencoder_config).fit(
+                list(seed_pairs), epochs=1, seed=seed + 100
+            )
+            if train_crossencoder:
+                pool = list(candidate_pool) if candidate_pool is not None else unique_entities(
+                    list(synthetic_pairs) + list(seed_pairs)
+                )
+                seed_examples = build_ranking_examples(
+                    list(seed_pairs), pool, self.crossencoder_config.num_candidates, seed=seed + 101
+                )
+                CrossEncoderTrainer(self.pipeline.crossencoder, self.crossencoder_config).fit(
+                    seed_examples, epochs=1, seed=seed + 101
+                )
+        return report
+
+    def predict(self, mentions, entities, k: int = 16, rerank: bool = True):
+        """Delegate prediction to the underlying BLINK pipeline."""
+        return self.pipeline.predict(mentions, entities, k=k, rerank=rerank)

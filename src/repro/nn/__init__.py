@@ -1,0 +1,67 @@
+"""``repro.nn`` — a from-scratch numpy neural-network substrate.
+
+This subpackage replaces PyTorch in the reproduction: it provides an autodiff
+:class:`~repro.nn.tensor.Tensor`, layers, transformer encoder / decoder
+stacks, optimisers and checkpointing.  Every model in ``repro.linking``,
+``repro.generation`` and ``repro.meta`` is built on top of it.
+"""
+
+from . import functional
+from .attention import MultiHeadAttention
+from .layers import Dropout, Embedding, FeedForward, LayerNorm, Linear
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, LinearWarmupSchedule, Optimizer, clip_grad_norm
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import (
+    Tensor,
+    concatenate,
+    no_grad,
+    ones,
+    ones_like,
+    stack_tensors,
+    tensor,
+    zeros,
+    zeros_like,
+)
+from .transformer import (
+    PositionalEmbedding,
+    TransformerDecoder,
+    TransformerDecoderLayer,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "zeros_like",
+    "ones_like",
+    "concatenate",
+    "stack_tensors",
+    "no_grad",
+    "Module",
+    "ModuleList",
+    "Sequential",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "FeedForward",
+    "MultiHeadAttention",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "TransformerDecoder",
+    "TransformerDecoderLayer",
+    "PositionalEmbedding",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LinearWarmupSchedule",
+    "clip_grad_norm",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,119 @@
+"""Multi-head attention used by the encoder and decoder stacks."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with multiple heads.
+
+    Supports self-attention (``query is key is value``), cross-attention
+    (decoder attending to encoder states) and both padding and causal masks.
+    """
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if model_dim % num_heads != 0:
+            raise ValueError(f"model_dim {model_dim} not divisible by num_heads {num_heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.model_dim = model_dim
+        self.num_heads = num_heads
+        self.head_dim = model_dim // num_heads
+        self.query_proj = Linear(model_dim, model_dim, rng=rng)
+        self.key_proj = Linear(model_dim, model_dim, rng=rng)
+        self.value_proj = Linear(model_dim, model_dim, rng=rng)
+        self.out_proj = Linear(model_dim, model_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, length, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, heads * head_dim)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Optional[Tensor] = None,
+        value: Optional[Tensor] = None,
+        key_padding_mask: Optional[np.ndarray] = None,
+        causal: bool = False,
+    ) -> Tensor:
+        """Compute attention.
+
+        Parameters
+        ----------
+        query, key, value:
+            Tensors of shape ``(batch, length, model_dim)``.  ``key`` and
+            ``value`` default to ``query`` (self-attention).
+        key_padding_mask:
+            Boolean array ``(batch, key_length)``; True marks padding
+            positions that must not be attended to.
+        causal:
+            If True, position *i* may only attend to positions ``<= i``.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+
+        q = self._split_heads(self.query_proj(query))
+        k = self._split_heads(self.key_proj(key))
+        v = self._split_heads(self.value_proj(value))
+
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+
+        mask = self._build_mask(
+            batch=query.shape[0],
+            query_len=query.shape[1],
+            key_len=key.shape[1],
+            key_padding_mask=key_padding_mask,
+            causal=causal,
+        )
+        if mask is not None:
+            scores = F.masked_fill(scores, mask, -1e9)
+
+        weights = F.softmax(scores, axis=-1)
+        weights = self.dropout(weights)
+        attended = weights.matmul(v)
+        return self.out_proj(self._merge_heads(attended))
+
+    def _build_mask(
+        self,
+        batch: int,
+        query_len: int,
+        key_len: int,
+        key_padding_mask: Optional[np.ndarray],
+        causal: bool,
+    ) -> Optional[np.ndarray]:
+        mask = None
+        if key_padding_mask is not None:
+            padding = np.asarray(key_padding_mask, dtype=bool)
+            if padding.shape != (batch, key_len):
+                raise ValueError(
+                    f"key_padding_mask shape {padding.shape} != {(batch, key_len)}"
+                )
+            mask = padding[:, None, None, :]
+            mask = np.broadcast_to(mask, (batch, self.num_heads, query_len, key_len)).copy()
+        if causal:
+            causal_mask = np.triu(np.ones((query_len, key_len), dtype=bool), k=1)
+            causal_mask = np.broadcast_to(
+                causal_mask[None, None, :, :], (batch, self.num_heads, query_len, key_len)
+            )
+            mask = causal_mask.copy() if mask is None else (mask | causal_mask)
+        return mask

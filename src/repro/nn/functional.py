@@ -1,0 +1,165 @@
+"""Functional neural-network operations built on :class:`repro.nn.tensor.Tensor`.
+
+These free functions mirror the subset of ``torch.nn.functional`` the paper's
+models rely on: activations, softmax / log-softmax, cross entropy, embedding
+lookups, masking and dropout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "relu",
+    "gelu",
+    "tanh",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "embedding",
+    "dropout",
+    "masked_fill",
+    "cosine_similarity",
+    "normalize",
+    "one_hot",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in BERT)."""
+    inner = (x + (x ** 3) * 0.044715) * math.sqrt(2.0 / math.pi)
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a one-hot float matrix for integer ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def nll_loss(
+    log_probs: Tensor,
+    targets: Union[np.ndarray, Sequence[int]],
+    reduction: str = "mean",
+    sample_weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Negative log-likelihood loss over the last axis of ``log_probs``.
+
+    ``log_probs`` has shape ``(batch, classes)``; ``targets`` holds integer
+    class indices.  ``sample_weights`` optionally weights each example, which
+    is how the meta-learned weights enter the training objective (Eq. 7/15).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    mask = one_hot(targets, log_probs.shape[-1])
+    per_example = -(log_probs * mask).sum(axis=-1)
+    if sample_weights is not None:
+        per_example = per_example * np.asarray(sample_weights, dtype=np.float64)
+    if reduction == "none":
+        return per_example
+    if reduction == "sum":
+        return per_example.sum()
+    if reduction == "mean":
+        return per_example.mean()
+    raise ValueError(f"unknown reduction: {reduction!r}")
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: Union[np.ndarray, Sequence[int]],
+    reduction: str = "mean",
+    sample_weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Softmax cross entropy with integer targets.
+
+    This is the in-batch contrastive loss of Eq. (6) when ``logits`` is the
+    mention-vs-batch-entities score matrix and ``targets`` is the diagonal.
+    """
+    return nll_loss(
+        log_softmax(logits, axis=-1),
+        targets,
+        reduction=reduction,
+        sample_weights=sample_weights,
+    )
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` according to integer ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+            weight._accumulate(full)
+
+    if not (is_grad_enabled() and weight.requires_grad):
+        return Tensor(out_data)
+    return Tensor(out_data, requires_grad=True, _parents=(weight,), _backward=backward)
+
+
+def dropout(x: Tensor, rate: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; a no-op when ``training`` is False or ``rate`` is 0."""
+    if not training or rate <= 0.0:
+        return x
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be < 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    keep = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * Tensor(keep)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace positions where ``mask`` is True with ``value`` (e.g. -1e9)."""
+    mask = np.asarray(mask, dtype=bool)
+    keep = (~mask).astype(np.float64)
+    fill = mask.astype(np.float64) * value
+    return x * Tensor(keep) + Tensor(fill)
+
+
+def normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """L2-normalise ``x`` along ``axis``."""
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps) ** 0.5
+    return x / norm
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Cosine similarity between ``a`` and ``b`` along ``axis``."""
+    return (normalize(a, axis=axis) * normalize(b, axis=axis)).sum(axis=axis)

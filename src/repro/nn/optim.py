@@ -1,0 +1,140 @@
+"""Optimisers (SGD, Adam) and gradient utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            parameter.data = parameter.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015), the optimiser used by BLINK."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 2e-5,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (grad * grad)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging).
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    if not parameters:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for parameter in parameters:
+            parameter.grad = parameter.grad * scale
+    return total
+
+
+class LinearWarmupSchedule:
+    """Learning-rate schedule with linear warmup then linear decay.
+
+    Mirrors the schedule commonly used to fine-tune BERT-style encoders.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.warmup_steps = max(0, warmup_steps)
+        self.total_steps = total_steps
+        self._step_count = 0
+
+    def step(self) -> float:
+        """Advance one step and return the new learning rate."""
+        self._step_count += 1
+        if self.warmup_steps and self._step_count <= self.warmup_steps:
+            factor = self._step_count / self.warmup_steps
+        else:
+            remaining = max(self.total_steps - self._step_count, 0)
+            denominator = max(self.total_steps - self.warmup_steps, 1)
+            factor = max(remaining / denominator, 0.0)
+        self.optimizer.lr = self.base_lr * factor
+        return self.optimizer.lr

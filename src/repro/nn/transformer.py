@@ -1,0 +1,209 @@
+"""Transformer encoder / decoder stacks.
+
+The encoders stand in for BERT in the BLINK-style bi-encoder and
+cross-encoder, and the encoder-decoder pair stands in for T5 in the mention
+rewriter (see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .attention import MultiHeadAttention
+from .layers import Dropout, Embedding, FeedForward, LayerNorm, Linear
+from .module import Module, ModuleList, Parameter
+from .tensor import Tensor
+
+
+class PositionalEmbedding(Module):
+    """Learned absolute positional embeddings."""
+
+    def __init__(
+        self,
+        max_length: int,
+        model_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.max_length = max_length
+        self.weight = Parameter(init.normal((max_length, model_dim), rng, std=0.02), name="weight")
+
+    def forward(self, length: int) -> Tensor:
+        if length > self.max_length:
+            raise ValueError(f"sequence length {length} exceeds max_length {self.max_length}")
+        return F.embedding(self.weight, np.arange(length))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block (self-attention + feed-forward)."""
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_heads: int,
+        hidden_dim: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.self_attention = MultiHeadAttention(model_dim, num_heads, dropout, rng=rng)
+        self.feed_forward = FeedForward(model_dim, hidden_dim, dropout, rng=rng)
+        self.norm_attention = LayerNorm(model_dim)
+        self.norm_feed_forward = LayerNorm(model_dim)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, padding_mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.self_attention(self.norm_attention(x), key_padding_mask=padding_mask)
+        x = x + self.dropout(attended)
+        x = x + self.feed_forward(self.norm_feed_forward(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Token embedding + positional embedding + a stack of encoder layers.
+
+    ``forward`` returns the full sequence of hidden states; ``encode`` returns
+    a pooled representation (mean over non-padding positions), which is what
+    the bi-encoder uses as the mention / entity vector.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        model_dim: int = 64,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        hidden_dim: int = 128,
+        max_length: int = 128,
+        dropout: float = 0.1,
+        padding_idx: int = 0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.model_dim = model_dim
+        self.padding_idx = padding_idx
+        self.token_embedding = Embedding(vocab_size, model_dim, rng=rng, padding_idx=padding_idx)
+        self.position_embedding = PositionalEmbedding(max_length, model_dim, rng=rng)
+        self.layers = ModuleList(
+            [
+                TransformerEncoderLayer(model_dim, num_heads, hidden_dim, dropout, rng=rng)
+                for _ in range(num_layers)
+            ]
+        )
+        self.final_norm = LayerNorm(model_dim)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        padding_mask = token_ids == self.padding_idx
+        hidden = self.token_embedding(token_ids) + self.position_embedding(token_ids.shape[1])
+        hidden = self.dropout(hidden)
+        for layer in self.layers:
+            hidden = layer(hidden, padding_mask=padding_mask)
+        return self.final_norm(hidden)
+
+    def encode(self, token_ids: np.ndarray) -> Tensor:
+        """Return a pooled (mean over real tokens) representation per sequence."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        hidden = self.forward(token_ids)
+        keep = (token_ids != self.padding_idx).astype(np.float64)
+        denom = np.maximum(keep.sum(axis=1, keepdims=True), 1.0)
+        weights = Tensor(keep[:, :, None] / denom[:, :, None])
+        return (hidden * weights).sum(axis=1)
+
+
+class TransformerDecoderLayer(Module):
+    """Pre-norm decoder block: causal self-attention, cross-attention, FFN."""
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_heads: int,
+        hidden_dim: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.self_attention = MultiHeadAttention(model_dim, num_heads, dropout, rng=rng)
+        self.cross_attention = MultiHeadAttention(model_dim, num_heads, dropout, rng=rng)
+        self.feed_forward = FeedForward(model_dim, hidden_dim, dropout, rng=rng)
+        self.norm_self = LayerNorm(model_dim)
+        self.norm_cross = LayerNorm(model_dim)
+        self.norm_feed_forward = LayerNorm(model_dim)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        memory_padding_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        attended = self.self_attention(self.norm_self(x), causal=True)
+        x = x + self.dropout(attended)
+        crossed = self.cross_attention(
+            self.norm_cross(x), key=memory, value=memory, key_padding_mask=memory_padding_mask
+        )
+        x = x + self.dropout(crossed)
+        x = x + self.feed_forward(self.norm_feed_forward(x))
+        return x
+
+
+class TransformerDecoder(Module):
+    """Decoder stack with a tied output projection to vocabulary logits."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        model_dim: int = 64,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        hidden_dim: int = 128,
+        max_length: int = 64,
+        dropout: float = 0.1,
+        padding_idx: int = 0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.padding_idx = padding_idx
+        self.token_embedding = Embedding(vocab_size, model_dim, rng=rng, padding_idx=padding_idx)
+        self.position_embedding = PositionalEmbedding(max_length, model_dim, rng=rng)
+        self.layers = ModuleList(
+            [
+                TransformerDecoderLayer(model_dim, num_heads, hidden_dim, dropout, rng=rng)
+                for _ in range(num_layers)
+            ]
+        )
+        self.final_norm = LayerNorm(model_dim)
+        self.output_proj = Linear(model_dim, vocab_size, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        memory: Tensor,
+        memory_padding_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        hidden = self.token_embedding(token_ids) + self.position_embedding(token_ids.shape[1])
+        hidden = self.dropout(hidden)
+        for layer in self.layers:
+            hidden = layer(hidden, memory, memory_padding_mask=memory_padding_mask)
+        hidden = self.final_norm(hidden)
+        return self.output_proj(hidden)

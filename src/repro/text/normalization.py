@@ -1,0 +1,67 @@
+"""Text normalisation used throughout tokenisation and name matching.
+
+Entity linking is sensitive to trivial surface differences (case,
+punctuation, disambiguation suffixes), so both the Name Matching baseline and
+the exact-match weak-supervision step normalise strings the same way.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import List
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_PUNCTUATION_RE = re.compile(r"[^\w\s']", flags=re.UNICODE)
+_DISAMBIGUATION_RE = re.compile(r"\s*\(([^)]*)\)\s*$")
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace into single spaces and strip the ends."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def normalize_text(text: str) -> str:
+    """Lowercase, strip accents and punctuation, collapse whitespace."""
+    text = unicodedata.normalize("NFKD", text)
+    text = "".join(char for char in text if not unicodedata.combining(char))
+    text = text.lower()
+    text = _PUNCTUATION_RE.sub(" ", text)
+    return normalize_whitespace(text)
+
+
+def simple_tokenize(text: str) -> List[str]:
+    """Split normalised text into lowercase word tokens."""
+    return _TOKEN_RE.findall(normalize_text(text))
+
+
+def strip_disambiguation(title: str) -> str:
+    """Remove a trailing parenthesised disambiguation phrase from a title.
+
+    ``"SORA (satellite)"`` → ``"SORA"``.  Titles without such a phrase are
+    returned unchanged.  This mirrors the paper's *Multiple Categories*
+    definition ("title text is the mention text followed by a disambiguation
+    phrase") and the self-match seed heuristic for zero-shot transfer.
+    """
+    return _DISAMBIGUATION_RE.sub("", title).strip()
+
+
+def disambiguation_phrase(title: str) -> str:
+    """Return the parenthesised disambiguation phrase of a title, or ''."""
+    match = _DISAMBIGUATION_RE.search(title)
+    return match.group(1).strip() if match else ""
+
+
+def has_disambiguation(title: str) -> bool:
+    """True when the title carries a disambiguation phrase."""
+    return bool(_DISAMBIGUATION_RE.search(title))
+
+
+def token_overlap_ratio(left: str, right: str) -> float:
+    """Jaccard overlap between the token sets of two strings (0 when empty)."""
+    left_tokens = set(simple_tokenize(left))
+    right_tokens = set(simple_tokenize(right))
+    if not left_tokens or not right_tokens:
+        return 0.0
+    return len(left_tokens & right_tokens) / len(left_tokens | right_tokens)

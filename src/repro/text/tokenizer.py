@@ -1,0 +1,177 @@
+"""Tokeniser producing fixed-length id sequences for the encoders.
+
+The tokeniser is intentionally simple (word-level with normalisation) — the
+paper's BERT/T5 word-piece vocabularies are a pre-training artefact we cannot
+reuse offline — but it exposes the same interface a sub-word tokeniser would:
+``encode`` → padded id array, ``decode`` → text, plus helpers that build the
+structured inputs used by the linking models:
+
+* mention-side input:  ``[bos] left-context <m> mention </m> right-context``
+* entity-side input:   ``[bos] title <sep> description``
+* cross-encoder input: mention-side ``<sep>`` entity-side
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .normalization import simple_tokenize
+from .vocab import (
+    BOS_TOKEN,
+    EOS_TOKEN,
+    MENTION_END,
+    MENTION_START,
+    SEP_TOKEN,
+    SUMMARIZE_TOKEN,
+    Vocabulary,
+)
+
+
+@dataclass
+class EncodedPair:
+    """A padded (mention, entity) pair ready for the bi-encoder."""
+
+    mention_ids: np.ndarray
+    entity_ids: np.ndarray
+
+
+class Tokenizer:
+    """Word-level tokeniser bound to a :class:`Vocabulary`."""
+
+    def __init__(self, vocabulary: Vocabulary, max_length: int = 48) -> None:
+        if max_length < 4:
+            raise ValueError("max_length must be at least 4")
+        self.vocabulary = vocabulary
+        self.max_length = max_length
+
+    # ------------------------------------------------------------------
+    # Plain text encoding
+    # ------------------------------------------------------------------
+    def tokenize(self, text: str) -> List[str]:
+        """Normalise and split text into word tokens."""
+        return simple_tokenize(text)
+
+    def encode(
+        self,
+        text: str,
+        max_length: Optional[int] = None,
+        add_bos: bool = True,
+        add_eos: bool = False,
+    ) -> np.ndarray:
+        """Encode text to a fixed-length padded id vector."""
+        tokens = self.tokenize(text)
+        if add_bos:
+            tokens = [BOS_TOKEN] + tokens
+        if add_eos:
+            tokens = tokens + [EOS_TOKEN]
+        return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
+
+    def encode_batch(self, texts: Sequence[str], max_length: Optional[int] = None) -> np.ndarray:
+        """Encode a batch of texts into a 2-D id matrix."""
+        return np.stack([self.encode(text, max_length=max_length) for text in texts])
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Turn an id sequence back into a (normalised) string."""
+        return " ".join(self.vocabulary.decode_ids(list(ids)))
+
+    # ------------------------------------------------------------------
+    # Structured linking inputs
+    # ------------------------------------------------------------------
+    def encode_mention(
+        self,
+        mention_text: str,
+        left_context: str = "",
+        right_context: str = "",
+        max_length: Optional[int] = None,
+    ) -> np.ndarray:
+        """Encode a mention in context with mention boundary markers."""
+        tokens = (
+            [BOS_TOKEN]
+            + self.tokenize(left_context)
+            + [MENTION_START]
+            + self.tokenize(mention_text)
+            + [MENTION_END]
+            + self.tokenize(right_context)
+        )
+        return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
+
+    def encode_entity(
+        self,
+        title: str,
+        description: str,
+        max_length: Optional[int] = None,
+    ) -> np.ndarray:
+        """Encode an entity as ``title <sep> description``."""
+        tokens = [BOS_TOKEN] + self.tokenize(title) + [SEP_TOKEN] + self.tokenize(description)
+        return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
+
+    def encode_cross(
+        self,
+        mention_text: str,
+        left_context: str,
+        right_context: str,
+        title: str,
+        description: str,
+        max_length: Optional[int] = None,
+    ) -> np.ndarray:
+        """Encode the concatenated mention/entity input for the cross-encoder."""
+        tokens = (
+            [BOS_TOKEN]
+            + self.tokenize(left_context)
+            + [MENTION_START]
+            + self.tokenize(mention_text)
+            + [MENTION_END]
+            + self.tokenize(right_context)
+            + [SEP_TOKEN]
+            + self.tokenize(title)
+            + [SEP_TOKEN]
+            + self.tokenize(description)
+        )
+        return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
+
+    def encode_summarize_source(self, description: str, max_length: Optional[int] = None) -> np.ndarray:
+        """Encode a rewriter source: ``<summarize> description`` (Eq. 1/2)."""
+        tokens = [BOS_TOKEN, SUMMARIZE_TOKEN] + self.tokenize(description)
+        return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
+
+    def encode_target(self, text: str, max_length: Optional[int] = None) -> np.ndarray:
+        """Encode a decoder target: ``<bos> tokens <eos>`` padded."""
+        tokens = [BOS_TOKEN] + self.tokenize(text) + [EOS_TOKEN]
+        return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
+
+    # ------------------------------------------------------------------
+    # Vocabulary construction helper
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_texts(
+        cls,
+        texts: Iterable[str],
+        max_vocab_size: int = 4096,
+        max_length: int = 48,
+        min_frequency: int = 1,
+    ) -> "Tokenizer":
+        """Build a tokenizer whose vocabulary covers ``texts``."""
+        tokenised = (simple_tokenize(text) for text in texts)
+        vocabulary = Vocabulary.build(tokenised, max_size=max_vocab_size, min_frequency=min_frequency)
+        return cls(vocabulary, max_length=max_length)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _pad(self, ids: List[int], max_length: Optional[int]) -> np.ndarray:
+        limit = self.max_length if max_length is None else max_length
+        ids = ids[:limit]
+        padded = np.full(limit, self.vocabulary.pad_id, dtype=np.int64)
+        padded[: len(ids)] = ids
+        return padded
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocabulary)
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocabulary.pad_id

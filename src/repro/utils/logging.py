@@ -1,0 +1,75 @@
+"""Lightweight structured logging for training loops and experiments."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return the repository logger (configured on first use)."""
+    logger = logging.getLogger(_LOGGER_NAME if name is None else f"{_LOGGER_NAME}.{name}")
+    root = logging.getLogger(_LOGGER_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        root.addHandler(handler)
+        root.setLevel(logging.WARNING)
+    return logger
+
+
+def set_verbosity(level: int) -> None:
+    """Set the log level for all repository loggers."""
+    logging.getLogger(_LOGGER_NAME).setLevel(level)
+
+
+@contextmanager
+def timed(label: str, sink: Optional[Dict[str, float]] = None) -> Iterator[None]:
+    """Context manager measuring wall-clock time of a block.
+
+    If ``sink`` is provided the elapsed seconds are stored under ``label``.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        if sink is not None:
+            sink[label] = elapsed
+        get_logger("timing").debug("%s took %.3fs", label, elapsed)
+
+
+class MetricHistory:
+    """Accumulate named scalar metrics over training steps or epochs."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, List[float]] = {}
+
+    def add(self, name: str, value: float) -> None:
+        self._records.setdefault(name, []).append(float(value))
+
+    def last(self, name: str) -> float:
+        values = self._records.get(name)
+        if not values:
+            raise KeyError(f"no values recorded for metric {name!r}")
+        return values[-1]
+
+    def mean(self, name: str) -> float:
+        values = self._records.get(name)
+        if not values:
+            raise KeyError(f"no values recorded for metric {name!r}")
+        return sum(values) / len(values)
+
+    def series(self, name: str) -> List[float]:
+        return list(self._records.get(name, []))
+
+    def names(self) -> List[str]:
+        return sorted(self._records)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {name: list(values) for name, values in self._records.items()}

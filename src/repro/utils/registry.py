@@ -1,0 +1,52 @@
+"""A tiny name → factory registry, used to register linkers and experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, List, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """Map string names to factories / callables.
+
+    Used for two things in the repository: registering entity-linking methods
+    (so benchmark harnesses can iterate "all baselines") and registering
+    experiment runners by table / figure id.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str) -> Callable[[T], T]:
+        """Decorator registering ``name`` → decorated object."""
+
+        def decorator(obj: T) -> T:
+            self.add(name, obj)
+            return obj
+
+        return decorator
+
+    def add(self, name: str, obj: T) -> None:
+        if name in self._entries:
+            raise KeyError(f"{self.kind} registry already contains {name!r}")
+        self._entries[name] = obj
+
+    def get(self, name: str) -> T:
+        if name not in self._entries:
+            known = ", ".join(sorted(self._entries)) or "<empty>"
+            raise KeyError(f"unknown {self.kind} {name!r}; known: {known}")
+        return self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

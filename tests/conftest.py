@@ -1,0 +1,34 @@
+"""Shared fixtures: small corpora and tokenizers reused across test modules."""
+
+import pytest
+
+from repro.data import generate_corpus
+from repro.generation import build_tokenizer_for_corpus
+from repro.utils.config import CorpusConfig, RewriterConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A small but complete 16-domain corpus (fast to generate)."""
+    return generate_corpus(CorpusConfig(entities_per_domain=24, mentions_per_domain=90, seed=11))
+
+
+@pytest.fixture(scope="session")
+def tiny_tokenizer(tiny_corpus):
+    return build_tokenizer_for_corpus(tiny_corpus, max_vocab_size=2048, max_length=32)
+
+
+@pytest.fixture(scope="session")
+def tiny_rewriter_config():
+    """Rewriter sized for unit tests (single short epoch)."""
+    return RewriterConfig(
+        model_dim=32,
+        num_layers=1,
+        num_heads=2,
+        hidden_dim=64,
+        max_source_length=32,
+        max_target_length=8,
+        epochs=1,
+        denoising_epochs=1,
+        batch_size=16,
+    )

@@ -1,0 +1,136 @@
+"""Unit tests for exact matching and noise injection."""
+
+import pytest
+
+from repro.generation import (
+    EXACT_MATCH_SOURCE,
+    NOISE_SOURCE,
+    build_title_index,
+    corrupt_pairs,
+    exact_match_dataset,
+    generate_title_mentions,
+    match_mentions,
+    mix_with_noise,
+)
+from repro.kb import Entity, EntityMentionPair, Mention
+
+
+def entity(idx, title, domain="lego"):
+    return Entity(
+        entity_id=f"{domain}:{idx}",
+        title=title,
+        description=f"{title} is a set known for the bricks and the studs",
+        domain=domain,
+    )
+
+
+def mention(idx, surface, gold=None, domain="lego"):
+    return Mention(
+        mention_id=f"{domain}:m{idx}",
+        surface=surface,
+        context_left="in the catalogue the",
+        context_right="was listed for release",
+        domain=domain,
+        gold_entity_id=gold,
+    )
+
+
+class TestTitleIndex:
+    def test_index_contains_normalised_titles(self):
+        index = build_title_index([entity(1, "Golden Master")])
+        assert "golden master" in index
+
+    def test_index_contains_stripped_disambiguation(self):
+        index = build_title_index([entity(1, "SORA (satellite)")])
+        assert "sora" in index and "sora satellite" in index
+
+
+class TestMatchMentions:
+    def test_exact_title_match_links(self):
+        entities = [entity(1, "Golden Master"), entity(2, "Silver Master")]
+        mentions = [mention(1, "Golden Master"), mention(2, "unknown thing")]
+        pairs = match_mentions(mentions, entities)
+        assert len(pairs) == 1
+        assert pairs[0].entity.entity_id == "lego:1"
+        assert pairs[0].source == EXACT_MATCH_SOURCE
+
+    def test_match_is_case_insensitive(self):
+        pairs = match_mentions([mention(1, "golden master")], [entity(1, "Golden Master")])
+        assert len(pairs) == 1
+
+    def test_match_ignores_gold_labels(self):
+        pairs = match_mentions([mention(1, "Golden Master", gold="lego:999")],
+                               [entity(1, "Golden Master")])
+        assert pairs[0].mention.gold_entity_id == "lego:1"
+
+    def test_no_match_returns_empty(self):
+        assert match_mentions([mention(1, "nothing here")], [entity(1, "Golden Master")]) == []
+
+
+class TestGenerateTitleMentions:
+    def test_per_entity_count(self):
+        pairs = generate_title_mentions([entity(1, "Golden Master")], per_entity=3)
+        assert len(pairs) == 3
+        assert all(p.mention.surface == "Golden Master" for p in pairs)
+
+    def test_contexts_use_description_tokens(self):
+        pairs = generate_title_mentions([entity(1, "Golden Master")], per_entity=2)
+        context = pairs[0].mention.context.lower()
+        assert any(word in context for word in ("bricks", "studs", "known", "golden"))
+
+    def test_invalid_per_entity(self):
+        with pytest.raises(ValueError):
+            generate_title_mentions([entity(1, "X Y")], per_entity=0)
+
+    def test_deterministic(self):
+        first = generate_title_mentions([entity(1, "Golden Master")], per_entity=2, seed=5)
+        second = generate_title_mentions([entity(1, "Golden Master")], per_entity=2, seed=5)
+        assert [p.mention.context for p in first] == [p.mention.context for p in second]
+
+    def test_dataset_combines_both_sources(self):
+        entities = [entity(1, "Golden Master")]
+        mentions = [mention(1, "Golden Master")]
+        pairs = exact_match_dataset(entities, mentions=mentions, per_entity=2)
+        assert len(pairs) == 3
+
+
+class TestNoise:
+    def make_pairs(self, count=10):
+        entities = [entity(i, f"Set Number {i}") for i in range(count)]
+        return [
+            EntityMentionPair(mention=mention(i, f"Set Number {i}", gold=f"lego:{i}"), entity=entities[i])
+            for i in range(count)
+        ], entities
+
+    def test_corrupt_fraction(self):
+        pairs, entities = self.make_pairs(10)
+        normal, corrupted = corrupt_pairs(pairs, entities, fraction=0.4, seed=1)
+        assert len(corrupted) == 4 and len(normal) == 6
+
+    def test_corrupted_entities_are_wrong(self):
+        pairs, entities = self.make_pairs(10)
+        _, corrupted = corrupt_pairs(pairs, entities, fraction=0.5, seed=2)
+        for pair in corrupted:
+            assert pair.entity.entity_id != pair.mention.gold_entity_id
+            assert pair.source == NOISE_SOURCE
+
+    def test_zero_fraction_keeps_everything(self):
+        pairs, entities = self.make_pairs(6)
+        normal, corrupted = corrupt_pairs(pairs, entities, fraction=0.0)
+        assert len(normal) == 6 and corrupted == []
+
+    def test_invalid_fraction(self):
+        pairs, entities = self.make_pairs(4)
+        with pytest.raises(ValueError):
+            corrupt_pairs(pairs, entities, fraction=1.5)
+
+    def test_requires_two_entities(self):
+        pairs, entities = self.make_pairs(1)
+        with pytest.raises(ValueError):
+            corrupt_pairs(pairs, entities, fraction=0.5)
+
+    def test_mix_with_noise_preserves_count(self):
+        pairs, entities = self.make_pairs(8)
+        mixed = mix_with_noise(pairs, entities, fraction=0.5, seed=3)
+        assert len(mixed) == 8
+        assert sum(1 for p in mixed if p.source == NOISE_SOURCE) == 4

@@ -1,0 +1,149 @@
+"""Tests for the seq2seq model and mention rewriter (T5 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.generation import (
+    MentionRewriter,
+    REWRITTEN_SOURCE,
+    Seq2SeqModel,
+    build_exact_match_data,
+    build_synthetic_data,
+    build_tokenizer_for_corpus,
+    source_domain_pairs,
+    train_rewriter,
+)
+from repro.text import Tokenizer
+from repro.utils.config import RewriterConfig
+
+
+@pytest.fixture(scope="module")
+def copy_task_model():
+    """A tiny seq2seq trained to copy the first source token (sanity task)."""
+    config = RewriterConfig(
+        vocab_size=40, model_dim=32, num_layers=1, num_heads=2, hidden_dim=64,
+        max_source_length=6, max_target_length=3, epochs=30, batch_size=16,
+        learning_rate=5e-3,
+    )
+    model = Seq2SeqModel(config, pad_id=0, bos_id=1, eos_id=2)
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(10, 40, size=(64, 1))
+    sources = np.concatenate([tokens, rng.integers(10, 40, size=(64, 5))], axis=1)
+    targets = np.concatenate(
+        [np.full((64, 1), 1), tokens, np.full((64, 1), 2), np.zeros((64, 1), dtype=int)], axis=1
+    )
+    history = model.fit(sources, targets, seed=0)
+    return model, sources, targets, history
+
+
+class TestSeq2SeqModel:
+    def test_training_reduces_loss(self, copy_task_model):
+        _, _, _, history = copy_task_model
+        losses = history.series("loss")
+        assert losses[-1] < losses[0]
+
+    def test_greedy_decode_learns_copy_task(self, copy_task_model):
+        model, sources, targets, _ = copy_task_model
+        decoded = model.greedy_decode(sources[:16], max_length=2)
+        expected = targets[:16, 1]
+        correct = sum(1 for out, want in zip(decoded, expected) if out and out[0] == want)
+        assert correct >= 8  # far above the ~3% chance level
+
+    def test_decode_respects_allowed_tokens(self, copy_task_model):
+        model, sources, _, _ = copy_task_model
+        decoded = model.greedy_decode(sources[:4], allowed_token_ids=[11, 12], max_length=3)
+        for sequence in decoded:
+            assert all(token in (11, 12) for token in sequence)
+
+    def test_decode_respects_banned_tokens(self, copy_task_model):
+        model, sources, targets, _ = copy_task_model
+        banned = [int(targets[0, 1])]
+        decoded = model.greedy_decode(sources[:1], banned_token_ids=banned, max_length=2)
+        assert banned[0] not in decoded[0]
+
+    def test_decode_min_length(self, copy_task_model):
+        model, sources, _, _ = copy_task_model
+        decoded = model.greedy_decode(sources[:4], min_length=3, max_length=4)
+        assert all(len(sequence) >= 3 for sequence in decoded)
+
+    def test_fit_validates_inputs(self, copy_task_model):
+        model, sources, targets, _ = copy_task_model
+        with pytest.raises(ValueError):
+            model.fit(sources[:2], targets[:3])
+        with pytest.raises(ValueError):
+            model.fit(sources[:0], targets[:0])
+
+    def test_batch_loss_is_positive_scalar(self, copy_task_model):
+        model, sources, targets, _ = copy_task_model
+        loss = model.batch_loss(sources[:4], targets[:4])
+        assert loss.item() > 0
+
+
+class TestMentionRewriter:
+    @pytest.fixture(scope="class")
+    def trained_rewriter(self, tiny_corpus, tiny_tokenizer, tiny_rewriter_config):
+        rewriter = MentionRewriter(tiny_tokenizer, config=tiny_rewriter_config)
+        pairs = source_domain_pairs(tiny_corpus, limit_per_domain=10)
+        rewriter.fit(pairs, seed=0, max_pairs=60)
+        return rewriter
+
+    def test_vocab_size_expanded_to_tokenizer(self, tiny_tokenizer):
+        config = RewriterConfig(vocab_size=10)
+        rewriter = MentionRewriter(tiny_tokenizer, config=config)
+        assert rewriter.config.vocab_size == tiny_tokenizer.vocab_size
+
+    def test_rewrite_requires_training(self, tiny_corpus, tiny_tokenizer, tiny_rewriter_config):
+        rewriter = MentionRewriter(tiny_tokenizer, config=tiny_rewriter_config)
+        with pytest.raises(RuntimeError):
+            rewriter.rewrite_entity(tiny_corpus.entities("lego")[0])
+
+    def test_fit_requires_pairs(self, tiny_tokenizer, tiny_rewriter_config):
+        rewriter = MentionRewriter(tiny_tokenizer, config=tiny_rewriter_config)
+        with pytest.raises(ValueError):
+            rewriter.fit([])
+
+    def test_rewrite_returns_nonempty_strings(self, trained_rewriter, tiny_corpus):
+        entities = tiny_corpus.entities("lego")[:5]
+        surfaces = trained_rewriter.rewrite_entities(entities)
+        assert len(surfaces) == 5
+        assert all(isinstance(s, str) and s.strip() for s in surfaces)
+
+    def test_rewrite_pairs_changes_source_tag(self, trained_rewriter, tiny_corpus):
+        pairs = tiny_corpus.pairs("lego")[:4]
+        rewritten = trained_rewriter.rewrite_pairs(pairs)
+        assert all(p.source == REWRITTEN_SOURCE for p in rewritten)
+        assert all(p.mention.source == REWRITTEN_SOURCE for p in rewritten)
+        # Entities and contexts are preserved; only the surface changes.
+        assert [p.entity.entity_id for p in rewritten] == [p.entity.entity_id for p in pairs]
+        assert [p.mention.context_left for p in rewritten] == [p.mention.context_left for p in pairs]
+
+    def test_denoising_batch_contains_sentinels(self, trained_rewriter, tiny_corpus, tiny_tokenizer):
+        texts = tiny_corpus.documents.texts("lego")[:10]
+        sources, targets = trained_rewriter.build_denoising_batch(texts, seed=0)
+        sentinel_ids = {tiny_tokenizer.vocabulary.sentinel_id(i) for i in range(8)}
+        assert sources.shape[0] == targets.shape[0] > 0
+        assert any(any(int(t) in sentinel_ids for t in row) for row in sources)
+
+    def test_denoising_batch_rejects_empty_texts(self, trained_rewriter):
+        with pytest.raises(ValueError):
+            trained_rewriter.build_denoising_batch(["a b", ""])
+
+
+class TestSynthesisPipeline:
+    def test_exact_match_data_surface_equals_title(self, tiny_corpus):
+        pairs = build_exact_match_data(tiny_corpus, "yugioh", per_entity=1)
+        title_pairs = [p for p in pairs if p.mention.mention_id.endswith("::title0")]
+        assert all(p.mention.surface == p.entity.title for p in title_pairs)
+
+    def test_build_synthetic_data_rewrites_surfaces(self, tiny_corpus, tiny_tokenizer, tiny_rewriter_config):
+        rewriter = train_rewriter(
+            tiny_corpus, tiny_tokenizer, config=tiny_rewriter_config, limit_per_domain=8, seed=0
+        )
+        exact = build_exact_match_data(tiny_corpus, "lego", per_entity=1)[:6]
+        syn = build_synthetic_data(tiny_corpus, "lego", rewriter, exact_pairs=exact)
+        assert len(syn) == len(exact)
+        assert all(p.source == REWRITTEN_SOURCE for p in syn)
+
+    def test_tokenizer_covers_corpus(self, tiny_corpus, tiny_tokenizer):
+        sample_title = tiny_corpus.entities("star_trek")[0].title.lower().split()[0]
+        assert sample_title in tiny_tokenizer.vocabulary

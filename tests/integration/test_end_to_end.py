@@ -1,0 +1,93 @@
+"""Integration tests: the full MetaBLINK workflow on a tiny configuration."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.eval import ExperimentSuite, compute_metrics, small_experiment_config
+from repro.eval.experiments import small_experiment_config as _cfg
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    config = small_experiment_config(seed=7)
+    config = replace(
+        config,
+        corpus=replace(config.corpus, entities_per_domain=20, mentions_per_domain=120),
+        biencoder=replace(config.biencoder, epochs=1),
+        crossencoder=replace(config.crossencoder, epochs=1),
+        seed_size=20,
+        dev_size=10,
+        recall_k=4,
+    )
+    return ExperimentSuite(config)
+
+
+class TestExperimentSuiteCaching:
+    def test_corpus_and_tokenizer_are_cached(self, tiny_suite):
+        assert tiny_suite.corpus is tiny_suite.corpus
+        assert tiny_suite.tokenizer is tiny_suite.tokenizer
+
+    def test_bundle_is_cached_per_domain(self, tiny_suite):
+        first = tiny_suite.bundle("yugioh", include_syn_star=False)
+        second = tiny_suite.bundle("yugioh", include_syn_star=False)
+        assert first is second
+        assert first.sizes()["syn"] == first.sizes()["exact_match"]
+
+    def test_splits_cover_all_test_domains(self, tiny_suite):
+        assert set(tiny_suite.splits) == {"forgotten_realms", "lego", "star_trek", "yugioh"}
+
+
+class TestStaticExperiments:
+    def test_table3_lists_all_sixteen_domains(self, tiny_suite):
+        rows = tiny_suite.run_table3_statistics()
+        assert len(rows) == 16
+        assert {row["split"] for row in rows} == {"train", "dev", "test"}
+
+    def test_table4_split_sizes(self, tiny_suite):
+        rows = tiny_suite.run_table4_splits()
+        assert len(rows) == 4
+        assert all(row["train"] == 20 for row in rows)
+
+    def test_table11_rouge_direction(self, tiny_suite):
+        rows = tiny_suite.run_table11_rouge(domains=["yugioh"], sample_size=30)
+        row = rows[0]
+        # Rewritten mentions should look more like natural mentions than raw titles.
+        assert row["syn"] >= row["exact_match"]
+
+
+class TestTrainedExperiments:
+    def test_figure1_shape(self, tiny_suite):
+        rows = tiny_suite.run_figure1(domain="yugioh", sizes=(0, 20))
+        assert [row["train_size"] for row in rows] == [0, 20]
+        trained = rows[-1]["unnormalized_accuracy"]
+        untrained = rows[0]["unnormalized_accuracy"]
+        assert trained >= untrained
+
+    def test_figure4_selection_ratios(self, tiny_suite):
+        result = tiny_suite.run_figure4_selection(domain="yugioh")
+        assert set(result) == {"normal_selected_ratio", "bad_selected_ratio"}
+        assert 0.0 <= result["bad_selected_ratio"] <= 1.0
+        assert result["bad_selected_ratio"] <= result["normal_selected_ratio"] + 0.15
+
+    def test_table5_rows_well_formed(self, tiny_suite):
+        rows = tiny_suite.run_table5_6(
+            domains=["yugioh"], methods=["name_matching", "blink_seed", "metablink_syn_seed"]
+        )
+        assert len(rows) == 3
+        for row in rows:
+            assert 0.0 <= row["unnormalized_accuracy"] <= 100.0
+        meta_row = rows[-1]
+        assert meta_row["method"] == "metablink_syn_seed"
+        assert meta_row["recall"] > 0.0
+
+    def test_metrics_consistency_on_pipeline_output(self, tiny_suite):
+        domain = "lego"
+        seed_pairs = tiny_suite.seed_pairs(domain)
+        pipeline = tiny_suite.train_blink(seed_pairs, domain, seed=0)
+        predictions = pipeline.predict(
+            tiny_suite.splits[domain].test[:20], tiny_suite.corpus.entities(domain), k=4
+        )
+        metrics = compute_metrics(predictions)
+        assert metrics.num_examples == 20
+        assert metrics.unnormalized_accuracy <= metrics.recall + 1e-9

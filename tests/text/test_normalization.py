@@ -1,0 +1,81 @@
+"""Unit tests for text normalisation helpers."""
+
+import pytest
+
+from repro.text import (
+    disambiguation_phrase,
+    has_disambiguation,
+    normalize_text,
+    normalize_whitespace,
+    simple_tokenize,
+    strip_disambiguation,
+    token_overlap_ratio,
+)
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("Star Trek") == "star trek"
+
+    def test_strips_punctuation(self):
+        assert normalize_text("Vader, the Sith-Lord!") == "vader the sith lord"
+
+    def test_collapses_whitespace(self):
+        assert normalize_whitespace("a   b \t c\n") == "a b c"
+
+    def test_strips_accents(self):
+        assert normalize_text("Pokémon") == "pokemon"
+
+    def test_empty_string(self):
+        assert normalize_text("") == ""
+
+    def test_keeps_apostrophes(self):
+        assert "dealer's" in normalize_text("the Dealer's choice")
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert simple_tokenize("The Curse of the Golden Master") == [
+            "the", "curse", "of", "the", "golden", "master",
+        ]
+
+    def test_numbers_kept(self):
+        assert simple_tokenize("Episode 42") == ["episode", "42"]
+
+    def test_empty(self):
+        assert simple_tokenize("   ") == []
+
+
+class TestDisambiguation:
+    def test_strip_removes_trailing_phrase(self):
+        assert strip_disambiguation("SORA (satellite)") == "SORA"
+
+    def test_strip_keeps_plain_title(self):
+        assert strip_disambiguation("Mr. Hanasaki") == "Mr. Hanasaki"
+
+    def test_phrase_extracted(self):
+        assert disambiguation_phrase("Satellite (series)") == "series"
+
+    def test_phrase_empty_when_absent(self):
+        assert disambiguation_phrase("Satellite") == ""
+
+    def test_has_disambiguation(self):
+        assert has_disambiguation("Taku (character)")
+        assert not has_disambiguation("Taku")
+
+    def test_only_trailing_parenthesis_counts(self):
+        assert strip_disambiguation("The (old) Guard") == "The (old) Guard"
+
+
+class TestOverlapRatio:
+    def test_identical_strings(self):
+        assert token_overlap_ratio("golden master", "Golden Master") == pytest.approx(1.0)
+
+    def test_disjoint_strings(self):
+        assert token_overlap_ratio("alpha beta", "gamma delta") == 0.0
+
+    def test_partial_overlap(self):
+        assert token_overlap_ratio("alpha beta", "beta gamma") == pytest.approx(1 / 3)
+
+    def test_empty_operand(self):
+        assert token_overlap_ratio("", "anything") == 0.0

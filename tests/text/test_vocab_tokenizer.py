@@ -1,0 +1,131 @@
+"""Unit tests for Vocabulary and Tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.text import (
+    BOS_TOKEN,
+    MENTION_END,
+    MENTION_START,
+    PAD_TOKEN,
+    SEP_TOKEN,
+    SPECIAL_TOKENS,
+    Tokenizer,
+    UNK_TOKEN,
+    Vocabulary,
+    sentinel_token,
+)
+
+
+class TestVocabulary:
+    def test_specials_always_first(self):
+        vocab = Vocabulary(["alpha", "beta"])
+        assert vocab.id_to_token(vocab.pad_id) == PAD_TOKEN
+        assert vocab.token_to_id("alpha") >= len(SPECIAL_TOKENS)
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary(["alpha"])
+        assert vocab.token_to_id("missing") == vocab.unk_id
+
+    def test_add_token_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add_token("alpha")
+        second = vocab.add_token("alpha")
+        assert first == second
+
+    def test_build_respects_max_size(self):
+        texts = [["a", "a", "b", "c"], ["a", "b"]]
+        vocab = Vocabulary.build(texts, max_size=len(SPECIAL_TOKENS) + 2)
+        assert len(vocab) == len(SPECIAL_TOKENS) + 2
+        assert "a" in vocab and "b" in vocab and "c" not in vocab
+
+    def test_build_min_frequency(self):
+        vocab = Vocabulary.build([["rare", "common", "common"]], min_frequency=2)
+        assert "common" in vocab and "rare" not in vocab
+
+    def test_decode_skips_special_tokens(self):
+        vocab = Vocabulary(["word"])
+        ids = [vocab.bos_id, vocab.token_to_id("word"), vocab.pad_id]
+        assert vocab.decode_ids(ids) == ["word"]
+
+    def test_sentinel_tokens_exist(self):
+        vocab = Vocabulary()
+        assert vocab.sentinel_id(0) != vocab.sentinel_id(1)
+        with pytest.raises(ValueError):
+            sentinel_token(99)
+
+    def test_id_to_token_out_of_range(self):
+        vocab = Vocabulary()
+        with pytest.raises(IndexError):
+            vocab.id_to_token(10_000)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        vocab = Vocabulary(["alpha", "beta"])
+        path = vocab.save(tmp_path / "vocab.json")
+        restored = Vocabulary.load(path)
+        assert len(restored) == len(vocab)
+        assert restored.token_to_id("beta") == vocab.token_to_id("beta")
+
+
+class TestTokenizer:
+    @pytest.fixture
+    def tokenizer(self):
+        return Tokenizer.from_texts(
+            ["the golden master fought the crew", "a satellite over the city"],
+            max_length=16,
+        )
+
+    def test_encode_is_padded_to_max_length(self, tokenizer):
+        ids = tokenizer.encode("the golden master")
+        assert ids.shape == (16,)
+        assert ids.dtype == np.int64
+
+    def test_encode_truncates(self, tokenizer):
+        ids = tokenizer.encode("word " * 100, max_length=8)
+        assert ids.shape == (8,)
+
+    def test_unknown_words_map_to_unk(self, tokenizer):
+        ids = tokenizer.encode("completelyunknownword", add_bos=False)
+        assert ids[0] == tokenizer.vocabulary.unk_id
+
+    def test_encode_batch_shape(self, tokenizer):
+        batch = tokenizer.encode_batch(["the crew", "the city", "golden master"])
+        assert batch.shape == (3, 16)
+
+    def test_decode_roundtrip(self, tokenizer):
+        ids = tokenizer.encode("the golden master", add_bos=False)
+        assert tokenizer.decode(ids) == "the golden master"
+
+    def test_encode_mention_contains_markers(self, tokenizer):
+        ids = tokenizer.encode_mention("golden master", "the", "fought the crew")
+        tokens = [tokenizer.vocabulary.id_to_token(i) for i in ids]
+        assert MENTION_START in tokens and MENTION_END in tokens
+        assert tokens[0] == BOS_TOKEN
+
+    def test_encode_entity_contains_separator(self, tokenizer):
+        ids = tokenizer.encode_entity("Satellite", "a satellite over the city")
+        tokens = [tokenizer.vocabulary.id_to_token(i) for i in ids]
+        assert SEP_TOKEN in tokens
+
+    def test_encode_cross_contains_both_parts(self, tokenizer):
+        ids = tokenizer.encode_cross("golden master", "the", "fought", "Satellite", "over the city",
+                                     max_length=32)
+        tokens = [tokenizer.vocabulary.id_to_token(i) for i in ids]
+        assert tokens.count(SEP_TOKEN) == 2
+
+    def test_encode_summarize_source_prefix(self, tokenizer):
+        ids = tokenizer.encode_summarize_source("a satellite over the city")
+        tokens = [tokenizer.vocabulary.id_to_token(i) for i in ids]
+        assert tokens[1] == "<summarize>"
+
+    def test_encode_target_has_bos_and_eos(self, tokenizer):
+        ids = tokenizer.encode_target("golden master", max_length=8)
+        tokens = [tokenizer.vocabulary.id_to_token(i) for i in ids if i != tokenizer.pad_id]
+        assert tokens[0] == BOS_TOKEN and tokens[-1] == "<eos>"
+
+    def test_min_length_guard(self):
+        with pytest.raises(ValueError):
+            Tokenizer(Vocabulary(), max_length=2)
+
+    def test_vocab_size_property(self, tokenizer):
+        assert tokenizer.vocab_size == len(tokenizer.vocabulary)
