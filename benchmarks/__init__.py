@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+The ``__init__`` makes ``benchmarks`` importable as a package so the
+``from .conftest import run_once`` imports inside the table/figure benchmarks
+resolve (the seed repo shipped without it, which broke collection).
+"""

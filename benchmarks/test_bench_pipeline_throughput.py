@@ -1,0 +1,134 @@
+"""Serving-pipeline throughput: batched linking vs the per-mention loop.
+
+Measures mentions/second of :class:`repro.serving.EntityLinkingPipeline` at
+micro-batch sizes 1, 8 and 64 against the per-mention loop baseline (one
+``link([mention])`` call per mention — the shape of the seed repo's original
+hot path).  The scenario is global serving: one sharded index over all 16
+worlds, mixed traffic from the 4 test domains, fan-out retrieval with
+cross-shard merge.
+
+Two pipeline configurations are timed:
+
+* **candidate generation** (``rerank=False``, k=8) — the paper's Recall@k
+  serving shape; every stage cost amortises over the batch, so batch-64 is
+  asserted to be >= 5x the per-mention loop (typically ~8x).
+* **full pipeline** (cross-encoder rerank on, k=4) — the rerank forward is
+  per-row compute in both paths, so the amortisable share is smaller;
+  batch-64 is asserted to be >= 3x (typically ~5x).
+
+Baseline and batched runs are interleaved and each takes its best-of-5, so
+CPU noise bursts hit both sides alike.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_pipeline_throughput.py -q -s
+"""
+
+import time
+
+from repro.data import generate_corpus, split_domain
+from repro.data.worlds import TEST_DOMAINS
+from repro.generation import build_tokenizer_for_corpus
+from repro.linking import BlinkPipeline
+from repro.serving import EntityLinkingPipeline
+from repro.utils.config import BiEncoderConfig, CorpusConfig, CrossEncoderConfig, EncoderConfig
+
+NUM_MENTIONS = 64
+BATCH_SIZES = (1, 8, 64)
+REPEATS = 5
+MIN_RETRIEVAL_SPEEDUP = 5.0
+MIN_RERANK_SPEEDUP = 3.0
+
+
+def _build_pipeline_inputs():
+    """Corpus, BLINK stages and a mixed-domain mention stream for serving."""
+    corpus = generate_corpus(CorpusConfig(entities_per_domain=32, mentions_per_domain=130, seed=7))
+    tokenizer = build_tokenizer_for_corpus(corpus, max_length=16)
+    encoder = EncoderConfig(model_dim=16, num_layers=1, num_heads=2, hidden_dim=32, max_length=16)
+    blink = BlinkPipeline(
+        tokenizer,
+        BiEncoderConfig(encoder=encoder),
+        CrossEncoderConfig(encoder=encoder, num_candidates=4),
+    )
+    entities = [entity for domain in corpus.domains for entity in corpus.entities(domain)]
+    mentions = []
+    for domain in TEST_DOMAINS:
+        split = split_domain(corpus, domain, seed_size=30, dev_size=20)
+        mentions.extend(split.test[: NUM_MENTIONS // len(TEST_DOMAINS)])
+    return blink, entities, mentions[:NUM_MENTIONS]
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def _measure(pipelines, mentions):
+    """Interleaved best-of-:data:`REPEATS` seconds per labelled runner."""
+    runners = {
+        "per-mention loop": lambda p=pipelines[1]: [p.link([m]) for m in mentions],
+        **{f"batch={bs}": (lambda p=pipelines[bs]: p.link(mentions)) for bs in BATCH_SIZES},
+    }
+    best = {label: float("inf") for label in runners}
+    for _ in range(REPEATS):
+        for label, runner in runners.items():
+            best[label] = min(best[label], _timed(runner))
+    return {label: NUM_MENTIONS / seconds for label, seconds in best.items()}
+
+
+def _report(title, throughput):
+    baseline = throughput["per-mention loop"]
+    print()
+    print(title)
+    for label, value in throughput.items():
+        print(f"  {label:>18}: {value:8.1f} mentions/s  ({value / baseline:4.1f}x baseline)")
+    return baseline
+
+
+def test_pipeline_throughput_scales_with_batch_size():
+    blink, entities, mentions = _build_pipeline_inputs()
+    assert len(mentions) == NUM_MENTIONS
+
+    # One shared, pre-materialised index so timings measure linking only.
+    index = blink.biencoder.build_sharded_index(entities, lazy=False)
+
+    def pipelines(k, rerank):
+        built = {
+            bs: EntityLinkingPipeline(
+                blink.biencoder,
+                index,
+                blink.crossencoder,
+                k=k,
+                rerank=rerank,
+                batch_size=bs,
+                route_by_domain=False,  # global fan-out over all 16 shards
+            )
+            for bs in BATCH_SIZES
+        }
+        built[8].link(mentions)  # warm-up: lazy allocations, entity-token caches
+        return built
+
+    retrieval = _measure(pipelines(k=8, rerank=False), mentions)
+    rerank = _measure(pipelines(k=4, rerank=True), mentions)
+
+    retrieval_base = _report(
+        f"candidate generation (k=8, rerank off) over {NUM_MENTIONS} mentions, "
+        f"{len(entities)} entities in 16 shards",
+        retrieval,
+    )
+    rerank_base = _report(
+        f"full pipeline (k=4, rerank on) over {NUM_MENTIONS} mentions",
+        rerank,
+    )
+
+    assert retrieval["batch=64"] >= MIN_RETRIEVAL_SPEEDUP * retrieval_base, (
+        f"candidate-generation batch-64 throughput {retrieval['batch=64']:.1f} mentions/s "
+        f"is below {MIN_RETRIEVAL_SPEEDUP}x the per-mention baseline {retrieval_base:.1f}"
+    )
+    assert rerank["batch=64"] >= MIN_RERANK_SPEEDUP * rerank_base, (
+        f"full-pipeline batch-64 throughput {rerank['batch=64']:.1f} mentions/s "
+        f"is below {MIN_RERANK_SPEEDUP}x the per-mention baseline {rerank_base:.1f}"
+    )
+    # Medium batches must already beat the per-mention loop clearly.
+    assert retrieval["batch=8"] >= 2.0 * retrieval_base

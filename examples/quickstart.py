@@ -17,6 +17,7 @@ from repro.eval import evaluate_pipeline, format_table, small_experiment_config
 from repro.generation import build_bundle, build_tokenizer_for_corpus
 from repro.linking import BlinkPipeline
 from repro.meta import MetaBlinkTrainer, few_shot_seed
+from repro.serving import EntityLinkingPipeline
 
 DOMAIN = "lego"
 
@@ -42,12 +43,14 @@ def main() -> None:
     print("3. training BLINK on syn+seed (baseline) ...")
     blink = BlinkPipeline(tokenizer, config.biencoder, config.crossencoder)
     blink.train(bundle.syn + seed_pairs, candidate_pool=entities, max_crossencoder_examples=60, seed=0)
-    blink_metrics = evaluate_pipeline(blink, split.test, entities, k=config.recall_k).metrics
+    blink_serving = EntityLinkingPipeline.from_blink(blink, entities, k=config.recall_k)
+    blink_metrics = evaluate_pipeline(blink_serving, split.test).metrics
 
     print("4. training MetaBLINK (meta-reweighted syn + seed) ...")
     meta = MetaBlinkTrainer(tokenizer, config.biencoder, config.crossencoder, config.meta)
     meta.train(bundle.syn, seed_pairs, candidate_pool=entities, max_crossencoder_examples=60, seed=0)
-    meta_metrics = evaluate_pipeline(meta.pipeline, split.test, entities, k=config.recall_k).metrics
+    meta_serving = EntityLinkingPipeline.from_blink(meta.pipeline, entities, k=config.recall_k)
+    meta_metrics = evaluate_pipeline(meta_serving, split.test).metrics
 
     rows = [
         {"method": "BLINK (syn+seed)", **blink_metrics.rounded().as_dict()},
@@ -55,6 +58,16 @@ def main() -> None:
     ]
     print()
     print(format_table(rows, title=f"Few-shot entity linking on the {DOMAIN} domain"))
+
+    print("5. serving a batch through the MetaBLINK pipeline ...")
+    results = meta_serving.link(split.test[:5])
+    for result in results:
+        marker = "+" if result.correct else "-"
+        print(f"   [{marker}] {result.surface!r} -> {result.predicted_entity_id} "
+              f"(top candidate {result.candidate_ids[0]})")
+    stats = meta_serving.stats
+    print(f"   pipeline throughput so far: {stats.throughput():.1f} mentions/s "
+          f"over {stats.mentions} mentions in {stats.batches} micro-batches")
 
 
 if __name__ == "__main__":

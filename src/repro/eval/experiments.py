@@ -150,12 +150,15 @@ class ExperimentSuite:
         return BlinkPipeline(self.tokenizer, self.config.biencoder, self.config.crossencoder)
 
     def _evaluate(self, pipeline: BlinkPipeline, domain: str, mentions=None) -> Dict[str, float]:
+        """Evaluate through the batched serving pipeline (one index build)."""
+        from ..serving.pipeline import EntityLinkingPipeline
         from .protocol import evaluate_pipeline
 
         mentions = mentions if mentions is not None else self.splits[domain].test
-        result = evaluate_pipeline(
-            pipeline, mentions, self.corpus.entities(domain), k=self.config.recall_k
+        serving = EntityLinkingPipeline.from_blink(
+            pipeline, entities=self.corpus.entities(domain), k=self.config.recall_k
         )
+        result = evaluate_pipeline(serving, mentions)
         return result.metrics.rounded().as_dict()
 
     def train_blink(self, pairs: Sequence[EntityMentionPair], domain: str, seed: int = 0) -> BlinkPipeline:

@@ -9,12 +9,13 @@ stage, so only U.Acc is meaningful, as in the paper's tables).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from ..kb.entity import Entity, Mention
 from ..linking.blink import BlinkPipeline, LinkingPrediction
 from ..linking.name_matching import NameMatchingLinker
 from ..meta.metablink import MetaBlinkTrainer
+from ..serving.pipeline import EntityLinkingPipeline
 from .metrics import LinkingMetrics, compute_metrics
 
 
@@ -27,14 +28,46 @@ class EvaluationResult:
 
 
 def evaluate_pipeline(
-    pipeline: BlinkPipeline,
+    pipeline: Union[BlinkPipeline, EntityLinkingPipeline],
     mentions: Sequence[Mention],
-    entities: Sequence[Entity],
-    k: int = 16,
-    rerank: bool = True,
+    entities: Optional[Sequence[Entity]] = None,
+    k: Optional[int] = None,
+    rerank: Optional[bool] = None,
 ) -> EvaluationResult:
-    """Evaluate a trained BLINK / MetaBLINK pipeline on labelled mentions."""
-    predictions = pipeline.predict(mentions, entities, k=k, rerank=rerank)
+    """Evaluate a trained BLINK / MetaBLINK / serving pipeline on mentions.
+
+    Accepts either a research :class:`~repro.linking.blink.BlinkPipeline`
+    (``entities`` then supplies the candidate pool, searched with Recall@``k``,
+    default 16) or a prebuilt :class:`~repro.serving.EntityLinkingPipeline`,
+    which already carries its index, ``k`` and rerank setting — passing
+    ``entities``/``k``/``rerank`` alongside a serving pipeline raises rather
+    than being silently ignored.
+    """
+    if isinstance(pipeline, EntityLinkingPipeline):
+        if entities is not None or k is not None or rerank is not None:
+            raise ValueError(
+                "an EntityLinkingPipeline already carries its index, k and "
+                "rerank setting; configure the pipeline instead of passing "
+                "entities/k/rerank here"
+            )
+        predictions = [
+            LinkingPrediction(
+                mention_id=result.mention_id,
+                gold_entity_id=result.gold_entity_id,
+                candidate_ids=list(result.candidate_ids),
+                predicted_entity_id=result.predicted_entity_id,
+            )
+            for result in pipeline.link(mentions)
+        ]
+    else:
+        if entities is None:
+            raise ValueError("entities are required when evaluating a BlinkPipeline")
+        predictions = pipeline.predict(
+            mentions,
+            entities,
+            k=16 if k is None else k,
+            rerank=True if rerank is None else rerank,
+        )
     return EvaluationResult(metrics=compute_metrics(predictions), predictions=predictions)
 
 

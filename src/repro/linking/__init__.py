@@ -2,7 +2,14 @@
 
 from .biencoder import BiEncoder, BiEncoderTrainer
 from .blink import BlinkPipeline, LinkingPrediction, TrainingReport
-from .candidates import EntityIndex, RetrievalResult, recall_at_k
+from .candidates import (
+    EntityIndex,
+    LRUEmbeddingCache,
+    RetrievalResult,
+    ShardedEntityIndex,
+    blocked_topk,
+    recall_at_k,
+)
 from .crossencoder import (
     CrossEncoder,
     CrossEncoderTrainer,
@@ -31,7 +38,10 @@ __all__ = [
     "LinkingPrediction",
     "TrainingReport",
     "EntityIndex",
+    "ShardedEntityIndex",
+    "LRUEmbeddingCache",
     "RetrievalResult",
+    "blocked_topk",
     "recall_at_k",
     "DL4ELTrainer",
     "NameMatchingLinker",

@@ -20,10 +20,13 @@ from ..text.tokenizer import Tokenizer
 from ..utils.config import BiEncoderConfig
 from ..utils.logging import MetricHistory, get_logger
 from ..utils.rng import batched_indices
-from .candidates import EntityIndex
+from .candidates import EntityIndex, ShardedEntityIndex
 from .encoders import encode_entity_inputs, encode_mention_inputs, encode_pair_batch
 
 _LOGGER = get_logger("biencoder")
+
+#: Default chunk size for the batched inference entry points.
+DEFAULT_EMBED_BATCH_SIZE = 64
 
 
 class BiEncoder(Module):
@@ -67,27 +70,98 @@ class BiEncoder(Module):
     def encode_entity_ids(self, entity_ids: np.ndarray) -> Tensor:
         return F.normalize(self.entity_encoder.encode(entity_ids))
 
-    def embed_mentions(self, mentions: Sequence[Mention]) -> np.ndarray:
-        """Inference-time mention embeddings (no autodiff graph)."""
-        ids = encode_mention_inputs(mentions, self.tokenizer, self.config.encoder.max_length)
+    def embed_mentions(
+        self, mentions: Sequence[Mention], batch_size: Optional[int] = DEFAULT_EMBED_BATCH_SIZE
+    ) -> np.ndarray:
+        """Batched inference-time mention embeddings (no autodiff graph).
+
+        Mentions are tokenized and pushed through the mention encoder
+        ``batch_size`` at a time (``None`` = one pass over everything), so the
+        serving hot path never runs a per-example forward.  Returns a
+        ``(len(mentions), model_dim)`` unit-norm matrix.
+
+        Example::
+
+            vectors = biencoder.embed_mentions(mentions, batch_size=64)
+        """
+        return self._embed_batched(
+            mentions,
+            lambda chunk: encode_mention_inputs(chunk, self.tokenizer, self.config.encoder.max_length),
+            self.encode_mention_ids,
+            batch_size,
+        )
+
+    def embed_entities(
+        self, entities: Sequence[Entity], batch_size: Optional[int] = DEFAULT_EMBED_BATCH_SIZE
+    ) -> np.ndarray:
+        """Batched inference-time entity embeddings (no autodiff graph).
+
+        The entity-side twin of :meth:`embed_mentions`; used by
+        :meth:`build_index` / :meth:`build_sharded_index` to embed whole
+        entity collections in fixed-size chunks.
+        """
+        return self._embed_batched(
+            entities,
+            lambda chunk: encode_entity_inputs(chunk, self.tokenizer, self.config.encoder.max_length),
+            self.encode_entity_ids,
+            batch_size,
+        )
+
+    def embed_mention_id_matrix(self, ids: np.ndarray) -> np.ndarray:
+        """Embed pre-tokenized, pre-padded mention id rows (no autodiff graph).
+
+        The serving pipeline's tokenize stage produces the id matrix once;
+        this entry point lets it skip the tokenizer entirely.
+        """
         self.eval()
         with no_grad():
             return self.encode_mention_ids(ids).data.copy()
 
-    def embed_entities(self, entities: Sequence[Entity]) -> np.ndarray:
-        """Inference-time entity embeddings (no autodiff graph)."""
-        ids = encode_entity_inputs(entities, self.tokenizer, self.config.encoder.max_length)
+    def _embed_batched(self, items, encode_fn, forward_fn, batch_size: Optional[int]) -> np.ndarray:
+        items = list(items)
+        if not items:
+            return np.zeros((0, self.config.encoder.model_dim))
+        step = len(items) if batch_size is None else max(1, batch_size)
         self.eval()
+        chunks: List[np.ndarray] = []
         with no_grad():
-            return self.encode_entity_ids(ids).data.copy()
+            for start in range(0, len(items), step):
+                ids = encode_fn(items[start:start + step])
+                chunks.append(forward_fn(ids).data.copy())
+        return chunks[0] if len(chunks) == 1 else np.concatenate(chunks, axis=0)
 
     def build_index(self, entities: Sequence[Entity], batch_size: int = 64) -> EntityIndex:
-        """Embed all entities and wrap them in an :class:`EntityIndex`."""
+        """Embed all entities and wrap them in a flat :class:`EntityIndex`."""
         entities = list(entities)
-        vectors: List[np.ndarray] = []
-        for start in range(0, len(entities), batch_size):
-            vectors.append(self.embed_entities(entities[start:start + batch_size]))
-        return EntityIndex(entities, np.concatenate(vectors, axis=0))
+        return EntityIndex(entities, self.embed_entities(entities, batch_size=batch_size))
+
+    def build_sharded_index(
+        self,
+        entities: Sequence[Entity],
+        batch_size: int = 64,
+        lazy: bool = True,
+        cache_size: int = 4096,
+    ) -> ShardedEntityIndex:
+        """Build a per-world :class:`ShardedEntityIndex` over ``entities``.
+
+        With ``lazy=True`` (the default) no embedding happens here: each
+        world's shard is embedded on first search, which is what the serving
+        pipeline wants when only a few worlds receive traffic.
+
+        Example::
+
+            index = biencoder.build_sharded_index(corpus_entities)
+            index.search(queries, k=64, worlds=["lego"])
+        """
+        index = ShardedEntityIndex.from_entities(
+            entities,
+            embed_fn=lambda chunk: self.embed_entities(chunk, batch_size=batch_size),
+            cache_size=cache_size,
+        )
+        if not lazy:
+            for world in index.worlds():
+                index.shard(world)
+        return index
 
     # ------------------------------------------------------------------
     # Loss

@@ -120,27 +120,38 @@ class BlinkPipeline:
         k: int = 16,
         index: Optional[EntityIndex] = None,
         rerank: bool = True,
+        batch_size: int = 64,
     ) -> List[LinkingPrediction]:
-        """Run the two-stage pipeline over mentions against an entity set."""
+        """Run the two-stage pipeline over mentions against an entity set.
+
+        Delegates to the batched :class:`~repro.serving.EntityLinkingPipeline`
+        so every stage (embedding, MIPS retrieval, reranking) runs vectorized
+        over ``batch_size`` micro-batches instead of once per mention.
+        """
         if not mentions:
             return []
-        index = index if index is not None else self.build_index(entities)
-        query_vectors = self.biencoder.embed_mentions(mentions)
-        retrievals = index.search(query_vectors, k=k)
+        # Imported lazily: serving builds on linking, not the other way round.
+        from ..serving.pipeline import EntityLinkingPipeline
 
-        predictions: List[LinkingPrediction] = []
-        for mention, retrieval in zip(mentions, retrievals):
-            candidates = [index.entity(entity_id) for entity_id in retrieval.entity_ids]
-            if rerank and candidates:
-                best = self.crossencoder.predict(mention, candidates)
-            else:
-                best = candidates[0] if candidates else None
-            predictions.append(
-                LinkingPrediction(
-                    mention_id=mention.mention_id,
-                    gold_entity_id=mention.gold_entity_id,
-                    candidate_ids=list(retrieval.entity_ids),
-                    predicted_entity_id=best.entity_id if best is not None else None,
-                )
+        serving = EntityLinkingPipeline.from_blink(
+            self,
+            entities=entities if index is None else None,
+            index=index,
+            k=k,
+            rerank=rerank,
+            batch_size=batch_size,
+            # Preserve this method's historical contract: candidates come
+            # from the *whole* entity pool, so fan out over every shard
+            # rather than routing each mention to its own domain's shard.
+            # Domain routing is the serving layer's explicit opt-in.
+            route_by_domain=False,
+        )
+        return [
+            LinkingPrediction(
+                mention_id=result.mention_id,
+                gold_entity_id=result.gold_entity_id,
+                candidate_ids=list(result.candidate_ids),
+                predicted_entity_id=result.predicted_entity_id,
             )
-        return predictions
+            for result in serving.link(mentions)
+        ]

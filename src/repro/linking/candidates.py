@@ -1,48 +1,218 @@
-"""Dense candidate-generation index over entity embeddings.
+"""Dense candidate generation: blocked MIPS search and the sharded entity index.
 
 The bi-encoder embeds every entity of a domain once; mentions are then linked
 by maximum inner product against this index (the paper's candidate generation
-stage, evaluated with Recall@64).
+stage, evaluated with Recall@64).  Two index flavours are provided:
+
+:class:`EntityIndex`
+    A flat in-memory index over one entity collection.  Search runs a blocked
+    matrix multiply with :func:`numpy.argpartition` top-k selection so memory
+    stays bounded for large entity sets.
+
+:class:`ShardedEntityIndex`
+    One shard per world (domain), the unit of scale in the Zeshel setting.
+    Shards are built lazily from an ``embed_fn`` on first use, queries can be
+    routed to a single world or fanned out and merged across all of them, and
+    a small LRU cache keyed by entity id serves repeated single-entity
+    embedding lookups without touching shard storage.
+
+Usage::
+
+    index = ShardedEntityIndex.from_entities(entities, embed_fn=model.embed_entities)
+    results = index.search(query_vectors, k=64, worlds=["lego"])
+    results[0].rank_of(gold_id)   # O(1) rank lookup
+
+Tie-breaking is deterministic everywhere: candidates with equal scores are
+ordered by their insertion position (and, across shards, by shard insertion
+order first), so repeated searches always return identical rankings.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..kb.entity import Entity
 
+#: Entities are scored ``block_size`` at a time so the score matrix for one
+#: block stays small even for very large entity collections.
+DEFAULT_BLOCK_SIZE = 2048
+
+#: Default capacity of the per-index embedding LRU cache (entity-id keyed).
+DEFAULT_CACHE_SIZE = 4096
+
+EmbedFn = Callable[[Sequence[Entity]], np.ndarray]
+
 
 @dataclass
 class RetrievalResult:
-    """Top-k candidates for one mention."""
+    """Top-k candidates for one mention, ranked by decreasing score.
+
+    ``contains`` and ``rank_of`` are O(1): a rank dictionary is built once at
+    construction time (the Recall@64 evaluation loops call them per mention).
+    Treat ``entity_ids`` as immutable after construction — the rank map is not
+    rebuilt on mutation.
+    """
 
     entity_ids: List[str]
     scores: List[float]
+    _rank_by_id: Dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        ranks: Dict[str, int] = {}
+        for rank, entity_id in enumerate(self.entity_ids):
+            ranks.setdefault(entity_id, rank)
+        self._rank_by_id = ranks
+
+    def __len__(self) -> int:
+        return len(self.entity_ids)
 
     def contains(self, entity_id: str) -> bool:
-        return entity_id in self.entity_ids
+        """O(1) membership test among the retrieved candidates."""
+        return entity_id in self._rank_by_id
 
     def rank_of(self, entity_id: str) -> Optional[int]:
         """0-based rank of ``entity_id`` among the candidates, or None."""
-        try:
-            return self.entity_ids.index(entity_id)
-        except ValueError:
+        return self._rank_by_id.get(entity_id)
+
+    @property
+    def top_id(self) -> Optional[str]:
+        """Best-scoring candidate id (None for an empty result)."""
+        return self.entity_ids[0] if self.entity_ids else None
+
+
+class LRUEmbeddingCache:
+    """Least-recently-used cache for entity embeddings, keyed by entity id.
+
+    A plain ``OrderedDict`` LRU: hits refresh recency, inserts beyond
+    ``capacity`` evict the stalest entry.  Hit/miss counters are exposed for
+    observability (`hits`, `misses`) so serving dashboards can track cache
+    effectiveness.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[str, np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._store
+
+    def get(self, entity_id: str) -> Optional[np.ndarray]:
+        vector = self._store.get(entity_id)
+        if vector is None:
+            self.misses += 1
             return None
+        self._store.move_to_end(entity_id)
+        self.hits += 1
+        return vector
+
+    def put(self, entity_id: str, vector: np.ndarray) -> None:
+        if self.capacity == 0:
+            return
+        if entity_id in self._store:
+            self._store.move_to_end(entity_id)
+        self._store[entity_id] = vector
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def _sorted_topk(
+    scores: np.ndarray, positions: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Keep the best ``k`` columns per row under (score desc, position asc)."""
+    order = np.lexsort((positions, -scores), axis=1)[:, :k]
+    return (
+        np.take_along_axis(scores, order, axis=1),
+        np.take_along_axis(positions, order, axis=1),
+    )
+
+
+def blocked_topk(
+    query_vectors: np.ndarray,
+    entity_vectors: np.ndarray,
+    k: int,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Blocked maximum-inner-product top-k over ``entity_vectors``.
+
+    Scores are computed ``block_size`` entities at a time; a running candidate
+    buffer per query is compacted to the best ``k`` columns under the total
+    order (score desc, position asc), so peak memory is
+    ``O(num_queries * (block_size + 4k))`` instead of
+    ``O(num_queries * num_entities)``.  Because retention always uses that
+    total order, streaming compaction is exact: the result equals the top-k
+    of the full score matrix.
+
+    Returns ``(scores, positions)`` arrays of shape ``(num_queries, k)`` with
+    each row sorted by decreasing score; ties are broken by ascending entity
+    position, deterministically.
+    """
+    num_entities = len(entity_vectors)
+    k = min(k, num_entities)
+    if k <= 0:
+        empty = np.zeros((len(query_vectors), 0))
+        return empty, empty.astype(np.int64)
+
+    buffer_scores: Optional[np.ndarray] = None
+    buffer_positions: Optional[np.ndarray] = None
+    compact_width = max(4 * k, 256)
+
+    for start in range(0, num_entities, block_size):
+        block = entity_vectors[start:start + block_size]
+        scores = query_vectors @ block.T
+        positions = np.broadcast_to(
+            np.arange(start, start + block.shape[0], dtype=np.int64), scores.shape
+        )
+        if buffer_scores is None:
+            buffer_scores, buffer_positions = scores, np.ascontiguousarray(positions)
+        else:
+            buffer_scores = np.concatenate([buffer_scores, scores], axis=1)
+            buffer_positions = np.concatenate([buffer_positions, positions], axis=1)
+        if buffer_scores.shape[1] > compact_width:
+            buffer_scores, buffer_positions = _sorted_topk(buffer_scores, buffer_positions, k)
+
+    assert buffer_scores is not None and buffer_positions is not None
+    return _sorted_topk(buffer_scores, buffer_positions, k)
 
 
 class EntityIndex:
-    """In-memory maximum-inner-product index over entity vectors."""
+    """Flat in-memory maximum-inner-product index over entity vectors.
 
-    def __init__(self, entities: Sequence[Entity], vectors: np.ndarray) -> None:
+    Search uses :func:`blocked_topk`, so the full ``queries x entities`` score
+    matrix is never materialised.  This class is also the storage unit of one
+    :class:`ShardedEntityIndex` shard.
+    """
+
+    def __init__(
+        self,
+        entities: Sequence[Entity],
+        vectors: np.ndarray,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
         if len(entities) != len(vectors):
             raise ValueError("entities and vectors must align")
         if len(entities) == 0:
             raise ValueError("cannot build an index over zero entities")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
         self._entities = list(entities)
         self._vectors = np.asarray(vectors, dtype=np.float64)
+        self._block_size = block_size
         self._id_to_position: Dict[str, int] = {
             entity.entity_id: position for position, entity in enumerate(self._entities)
         }
@@ -54,6 +224,11 @@ class EntityIndex:
     def dimension(self) -> int:
         return self._vectors.shape[1]
 
+    @property
+    def vectors(self) -> np.ndarray:
+        """The raw ``(num_entities, dim)`` embedding matrix (do not mutate)."""
+        return self._vectors
+
     def entities(self) -> List[Entity]:
         return list(self._entities)
 
@@ -63,24 +238,32 @@ class EntityIndex:
     def vector(self, entity_id: str) -> np.ndarray:
         return self._vectors[self._id_to_position[entity_id]]
 
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._id_to_position
+
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
-    def search(self, query_vectors: np.ndarray, k: int) -> List[RetrievalResult]:
-        """Top-k inner-product search for each query vector."""
+    def search_arrays(self, query_vectors: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k ``(scores, positions)`` arrays for each query vector."""
         if k <= 0:
             raise ValueError("k must be positive")
         query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
-        scores = query_vectors @ self._vectors.T
-        k = min(k, len(self._entities))
-        top = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+        return blocked_topk(query_vectors, self._vectors, k, block_size=self._block_size)
+
+    def search(self, query_vectors: np.ndarray, k: int) -> List[RetrievalResult]:
+        """Top-k inner-product search for each query vector.
+
+        ``k`` is clamped to the number of indexed entities; rows are sorted by
+        decreasing score with deterministic position tie-breaking.
+        """
+        scores, positions = self.search_arrays(query_vectors, k)
         results: List[RetrievalResult] = []
-        for row_scores, row_top in zip(scores, top):
-            order = row_top[np.argsort(-row_scores[row_top])]
+        for row_scores, row_positions in zip(scores, positions):
             results.append(
                 RetrievalResult(
-                    entity_ids=[self._entities[i].entity_id for i in order],
-                    scores=[float(row_scores[i]) for i in order],
+                    entity_ids=[self._entities[i].entity_id for i in row_positions],
+                    scores=[float(score) for score in row_scores],
                 )
             )
         return results
@@ -91,6 +274,258 @@ class EntityIndex:
             [self.entity(entity_id) for entity_id in result.entity_ids]
             for result in self.search(query_vectors, k)
         ]
+
+
+class ShardedEntityIndex:
+    """Per-world sharded MIPS index with lazy shard builds and an LRU cache.
+
+    Each world (domain) owns one shard.  Shard vectors are either supplied
+    up-front or embedded lazily via ``embed_fn`` the first time the shard is
+    searched — building a 16-world index therefore costs nothing until traffic
+    actually hits a world.  Empty shards are legal and simply contribute no
+    candidates.
+
+    Example::
+
+        index = ShardedEntityIndex.from_entities(entities, embed_fn=model.embed_entities)
+        index.search(queries, k=64)                      # fan out + merge
+        index.search(queries, k=64, worlds=["lego"])     # routed to one world
+        index.vector("lego:7")                           # LRU-cached lookup
+    """
+
+    def __init__(
+        self,
+        embed_fn: Optional[EmbedFn] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self._embed_fn = embed_fn
+        self._block_size = block_size
+        self._shard_entities: "OrderedDict[str, List[Entity]]" = OrderedDict()
+        self._shard_vectors: Dict[str, Optional[np.ndarray]] = {}
+        self._shards: Dict[str, Optional[EntityIndex]] = {}
+        self._entity_world: Dict[str, str] = {}
+        self.embedding_cache = LRUEmbeddingCache(cache_size)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_entities(
+        cls,
+        entities: Iterable[Entity],
+        embed_fn: Optional[EmbedFn] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> "ShardedEntityIndex":
+        """Group ``entities`` by their ``domain`` attribute, one shard each."""
+        index = cls(embed_fn=embed_fn, block_size=block_size, cache_size=cache_size)
+        grouped: "OrderedDict[str, List[Entity]]" = OrderedDict()
+        for entity in entities:
+            grouped.setdefault(entity.domain, []).append(entity)
+        for world, members in grouped.items():
+            index.add_shard(world, members)
+        return index
+
+    def add_shard(
+        self,
+        world: str,
+        entities: Sequence[Entity],
+        vectors: Optional[np.ndarray] = None,
+    ) -> None:
+        """Register a shard; ``vectors=None`` defers embedding to first use."""
+        if world in self._shard_entities:
+            raise ValueError(f"shard {world!r} already exists")
+        if vectors is not None and len(vectors) != len(entities):
+            raise ValueError("entities and vectors must align")
+        members = list(entities)
+        self._shard_entities[world] = members
+        self._shard_vectors[world] = None if vectors is None else np.asarray(vectors, dtype=np.float64)
+        for entity in members:
+            self._entity_world[entity.entity_id] = world
+        self._shards.pop(world, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(members) for members in self._shard_entities.values())
+
+    def worlds(self) -> List[str]:
+        """Shard names in insertion order."""
+        return list(self._shard_entities)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shard_entities)
+
+    def is_materialized(self, world: str) -> bool:
+        """Whether a shard's vectors have been built (lazy shards start cold)."""
+        return self._shards.get(world) is not None or self._shard_vectors.get(world) is not None
+
+    def shard(self, world: str) -> Optional[EntityIndex]:
+        """The (materialised) :class:`EntityIndex` of one world; None if empty."""
+        if world not in self._shard_entities:
+            raise KeyError(f"unknown world {world!r}")
+        if world not in self._shards:
+            self._shards[world] = self._build_shard(world)
+        return self._shards[world]
+
+    def _build_shard(self, world: str) -> Optional[EntityIndex]:
+        members = self._shard_entities[world]
+        if not members:
+            return None
+        vectors = self._shard_vectors[world]
+        if vectors is None:
+            if self._embed_fn is None:
+                raise ValueError(
+                    f"shard {world!r} has no vectors and the index has no embed_fn"
+                )
+            vectors = np.asarray(self._embed_fn(members), dtype=np.float64)
+            if len(vectors) != len(members):
+                raise ValueError("embed_fn returned a misaligned vector matrix")
+            self._shard_vectors[world] = vectors
+        return EntityIndex(members, vectors, block_size=self._block_size)
+
+    # ------------------------------------------------------------------
+    # Entity / vector lookup
+    # ------------------------------------------------------------------
+    def entity(self, entity_id: str) -> Entity:
+        world = self._entity_world[entity_id]
+        shard = self.shard(world)
+        assert shard is not None  # entity_id implies a non-empty shard
+        return shard.entity(entity_id)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._entity_world
+
+    def vector(self, entity_id: str) -> np.ndarray:
+        """Embedding of one entity, served through the LRU cache."""
+        cached = self.embedding_cache.get(entity_id)
+        if cached is not None:
+            return cached
+        world = self._entity_world[entity_id]
+        shard = self.shard(world)
+        assert shard is not None
+        vector = shard.vector(entity_id)
+        self.embedding_cache.put(entity_id, vector)
+        return vector
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query_vectors: np.ndarray,
+        k: int,
+        worlds: Optional[Sequence[str]] = None,
+    ) -> List[RetrievalResult]:
+        """Top-k search, fanned out over ``worlds`` (default: all shards).
+
+        Per-shard rankings are merged by decreasing score; ties are broken by
+        shard insertion order, then entity position, so merged rankings are
+        deterministic.  Empty shards contribute nothing; if every selected
+        shard is empty the results are empty (never an error).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+        num_queries = len(query_vectors)
+        selected = [world for world in self._select_worlds(worlds) if self.shard(world) is not None]
+        if not selected:
+            return [RetrievalResult([], []) for _ in range(num_queries)]
+        if len(selected) == 1:
+            shard = self.shard(selected[0])
+            assert shard is not None
+            return shard.search(query_vectors, k)
+
+        # Fan-out: per-shard blocked top-k, then one vectorized merge.  The
+        # lexsort keys encode the deterministic ordering (score desc, shard
+        # insertion order, entity position).
+        score_blocks: List[np.ndarray] = []
+        position_blocks: List[np.ndarray] = []
+        shard_blocks: List[np.ndarray] = []
+        for shard_order, world in enumerate(selected):
+            shard = self.shard(world)
+            assert shard is not None
+            scores, positions = shard.search_arrays(query_vectors, k)
+            score_blocks.append(scores)
+            position_blocks.append(positions)
+            shard_blocks.append(np.full(positions.shape, shard_order, dtype=np.int64))
+
+        scores = np.concatenate(score_blocks, axis=1)
+        positions = np.concatenate(position_blocks, axis=1)
+        shard_orders = np.concatenate(shard_blocks, axis=1)
+        order = np.lexsort((positions, shard_orders, -scores), axis=1)[:, :k]
+        top_scores = np.take_along_axis(scores, order, axis=1)
+        top_positions = np.take_along_axis(positions, order, axis=1)
+        top_shards = np.take_along_axis(shard_orders, order, axis=1)
+
+        shard_entities = [self._shard_entities[world] for world in selected]
+        results: List[RetrievalResult] = []
+        for query_index in range(num_queries):
+            results.append(
+                RetrievalResult(
+                    entity_ids=[
+                        shard_entities[shard_index][position].entity_id
+                        for shard_index, position in zip(
+                            top_shards[query_index], top_positions[query_index]
+                        )
+                    ],
+                    scores=[float(score) for score in top_scores[query_index]],
+                )
+            )
+        return results
+
+    def search_routed(
+        self,
+        query_vectors: np.ndarray,
+        k: int,
+        routes: Sequence[Optional[str]],
+    ) -> List[RetrievalResult]:
+        """Per-query world routing: query ``i`` searches shard ``routes[i]``.
+
+        A route of ``None`` — or naming a world this index does not hold —
+        falls back to a fan-out search over all shards.  Queries sharing a
+        route are batched into one shard search, so the common serving case
+        (a batch of mentions from one world) stays a single blocked matmul.
+        """
+        query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+        if len(routes) != len(query_vectors):
+            raise ValueError("routes and query vectors must align")
+
+        grouped: "OrderedDict[Optional[str], List[int]]" = OrderedDict()
+        for index, route in enumerate(routes):
+            key = route if route in self._shard_entities else None
+            grouped.setdefault(key, []).append(index)
+
+        results: List[RetrievalResult] = [RetrievalResult([], [])] * len(query_vectors)
+        for route, indices in grouped.items():
+            worlds = None if route is None else [route]
+            group_results = self.search(query_vectors[indices], k, worlds=worlds)
+            for index, result in zip(indices, group_results):
+                results[index] = result
+        return results
+
+    def retrieve_entities(
+        self,
+        query_vectors: np.ndarray,
+        k: int,
+        worlds: Optional[Sequence[str]] = None,
+    ) -> List[List[Entity]]:
+        """Like :meth:`search` but resolving candidates to Entity objects."""
+        return [
+            [self.entity(entity_id) for entity_id in result.entity_ids]
+            for result in self.search(query_vectors, k, worlds=worlds)
+        ]
+
+    def _select_worlds(self, worlds: Optional[Sequence[str]]) -> List[str]:
+        if worlds is None:
+            return self.worlds()
+        unknown = [world for world in worlds if world not in self._shard_entities]
+        if unknown:
+            raise KeyError(f"unknown worlds: {unknown}")
+        return list(worlds)
 
 
 def recall_at_k(results: Sequence[RetrievalResult], gold_ids: Sequence[str]) -> float:

@@ -11,7 +11,7 @@ per-example weights for the meta-learning loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,10 +20,10 @@ from ..nn import Adam, Linear, Module, Tensor, TransformerEncoder, clip_grad_nor
 from ..nn import functional as F
 from ..text.normalization import normalize_text, simple_tokenize, strip_disambiguation
 from ..text.tokenizer import Tokenizer
+from ..text.vocab import SEP_TOKEN
 from ..utils.config import CrossEncoderConfig
 from ..utils.logging import MetricHistory, get_logger
 from ..utils.rng import batched_indices, derive_seed
-from .encoders import encode_cross_inputs
 
 _LOGGER = get_logger("crossencoder")
 
@@ -33,6 +33,29 @@ NUM_LEXICAL_FEATURES = 3
 # are an order of magnitude larger; scaling the features keeps the scoring
 # head from ignoring them early in training.
 LEXICAL_FEATURE_SCALE = 5.0
+
+# Batched reranking pushes (mention, candidate) rows through the encoder in
+# chunks of this many rows: large enough to amortise per-call overhead, small
+# enough that the attention temporaries stay cache-resident.
+MAX_FORWARD_ROWS = 128
+
+# Capacity of the per-entity token/feature caches; beyond this the oldest
+# entries are evicted (FIFO) so a long-running serving process reranking
+# traffic over a huge KB cannot grow without bound.
+ENTITY_CACHE_CAPACITY = 65536
+
+
+def _cache_put(cache: Dict, key: str, value) -> None:
+    """Insert with FIFO eviction at :data:`ENTITY_CACHE_CAPACITY`."""
+    if len(cache) >= ENTITY_CACHE_CAPACITY:
+        del cache[next(iter(cache))]
+    cache[key] = value
+
+
+def _jaccard(left: frozenset, right: frozenset) -> float:
+    if not left or not right:
+        return 0.0
+    return len(left & right) / len(left | right)
 
 
 def lexical_features(mention: Mention, candidate: Entity) -> np.ndarray:
@@ -47,15 +70,10 @@ def lexical_features(mention: Mention, candidate: Entity) -> np.ndarray:
     2. context ↔ description token overlap (the semantic signal),
     3. exact title match indicator.
     """
-    surface_tokens = set(simple_tokenize(mention.surface))
-    title_tokens = set(simple_tokenize(candidate.title))
-    context_tokens = set(simple_tokenize(f"{mention.context_left} {mention.context_right}"))
-    description_tokens = set(simple_tokenize(candidate.description))
-
-    def jaccard(left: set, right: set) -> float:
-        if not left or not right:
-            return 0.0
-        return len(left & right) / len(left | right)
+    surface_tokens = frozenset(simple_tokenize(mention.surface))
+    title_tokens = frozenset(simple_tokenize(candidate.title))
+    context_tokens = frozenset(simple_tokenize(f"{mention.context_left} {mention.context_right}"))
+    description_tokens = frozenset(simple_tokenize(candidate.description))
 
     exact = float(
         normalize_text(mention.surface) in {
@@ -63,8 +81,8 @@ def lexical_features(mention: Mention, candidate: Entity) -> np.ndarray:
             normalize_text(strip_disambiguation(candidate.title)),
         }
     )
-    return np.array([jaccard(surface_tokens, title_tokens),
-                     jaccard(context_tokens, description_tokens),
+    return np.array([_jaccard(surface_tokens, title_tokens),
+                     _jaccard(context_tokens, description_tokens),
                      exact], dtype=np.float64)
 
 
@@ -103,6 +121,13 @@ class CrossEncoder(Module):
             1,
             rng=np.random.default_rng(config.seed + 7),
         )
+        # Per-entity caches keyed by entity_id (entity content is immutable):
+        # tokenized ``<sep> title <sep> description`` id suffixes and the
+        # token sets the lexical features are computed from.  Entities repeat
+        # across mentions in every rerank batch, so these caches turn the
+        # per-row tokenisation cost into a one-time cost per entity.
+        self._entity_suffix_cache: Dict[str, List[int]] = {}
+        self._entity_feature_cache: Dict[str, Tuple[frozenset, frozenset, frozenset]] = {}
 
     # ------------------------------------------------------------------
     # Scoring
@@ -115,13 +140,94 @@ class CrossEncoder(Module):
         combined = concatenate([pooled, Tensor(np.asarray(features, dtype=np.float64))], axis=1)
         return self.score_head(combined).reshape(len(cross_ids))
 
-    def _candidate_features(self, mention: Mention, candidates: Sequence[Entity]) -> np.ndarray:
-        features = np.stack([lexical_features(mention, candidate) for candidate in candidates])
+    def _entity_suffix_ids(self, entity: Entity) -> List[int]:
+        """Cached ``<sep> title <sep> description`` id suffix for one entity."""
+        cached = self._entity_suffix_cache.get(entity.entity_id)
+        if cached is None:
+            tokens = (
+                [SEP_TOKEN]
+                + self.tokenizer.tokenize(entity.title)
+                + [SEP_TOKEN]
+                + self.tokenizer.tokenize(entity.description)
+            )
+            cached = self.tokenizer.vocabulary.encode_tokens(tokens)
+            _cache_put(self._entity_suffix_cache, entity.entity_id, cached)
+        return cached
+
+    def _mention_prefix_ids(self, mention: Mention) -> List[int]:
+        """Mention-in-context id prefix, computed once per mention (not per row)."""
+        tokens = self.tokenizer.mention_tokens(
+            mention.surface, mention.context_left, mention.context_right
+        )
+        return self.tokenizer.vocabulary.encode_tokens(tokens)
+
+    def _cross_input_ids(
+        self,
+        mention: Mention,
+        candidates: Sequence[Entity],
+        prefix: Optional[List[int]] = None,
+    ) -> np.ndarray:
+        """Cross-encoder id rows; identical to ``Tokenizer.encode_cross`` output.
+
+        ``prefix`` optionally supplies the mention-side id sequence (e.g. from
+        the serving pipeline's tokenize stage) so the mention is not
+        re-tokenised here.
+        """
+        max_length = self.config.encoder.max_length
+        rows = np.full((len(candidates), max_length), self.tokenizer.pad_id, dtype=np.int64)
+        if prefix is None:
+            prefix = self._mention_prefix_ids(mention)
+        for position, candidate in enumerate(candidates):
+            ids = (prefix + self._entity_suffix_ids(candidate))[:max_length]
+            rows[position, : len(ids)] = ids
+        return rows
+
+    def _entity_feature_sets(self, entity: Entity) -> Tuple[frozenset, frozenset, frozenset]:
+        cached = self._entity_feature_cache.get(entity.entity_id)
+        if cached is None:
+            cached = (
+                frozenset(simple_tokenize(entity.title)),
+                frozenset(simple_tokenize(entity.description)),
+                frozenset(
+                    {
+                        normalize_text(entity.title),
+                        normalize_text(strip_disambiguation(entity.title)),
+                    }
+                ),
+            )
+            _cache_put(self._entity_feature_cache, entity.entity_id, cached)
+        return cached
+
+    def _candidate_features(
+        self,
+        mention: Mention,
+        candidates: Sequence[Entity],
+        mention_sets: Optional[Tuple[frozenset, frozenset, str]] = None,
+    ) -> np.ndarray:
+        """Interaction features of :func:`lexical_features`, with the
+        mention-side token sets computed once per mention and the entity-side
+        sets cached per entity id.  ``mention_sets`` optionally supplies
+        precomputed ``(surface_tokens, context_tokens, normalized_surface)``.
+        """
+        if mention_sets is not None:
+            surface_tokens, context_tokens, normalized_surface = mention_sets
+        else:
+            surface_tokens = frozenset(simple_tokenize(mention.surface))
+            context_tokens = frozenset(
+                simple_tokenize(f"{mention.context_left} {mention.context_right}")
+            )
+            normalized_surface = normalize_text(mention.surface)
+        features = np.empty((len(candidates), NUM_LEXICAL_FEATURES), dtype=np.float64)
+        for position, candidate in enumerate(candidates):
+            title_tokens, description_tokens, title_forms = self._entity_feature_sets(candidate)
+            features[position, 0] = _jaccard(surface_tokens, title_tokens)
+            features[position, 1] = _jaccard(context_tokens, description_tokens)
+            features[position, 2] = float(normalized_surface in title_forms)
         return features * LEXICAL_FEATURE_SCALE
 
     def score_candidates(self, mention: Mention, candidates: Sequence[Entity]) -> np.ndarray:
         """Inference-time candidate scores for one mention."""
-        ids = encode_cross_inputs(mention, candidates, self.tokenizer, self.config.encoder.max_length)
+        ids = self._cross_input_ids(mention, candidates)
         features = self._candidate_features(mention, candidates)
         self.eval()
         with no_grad():
@@ -140,13 +246,108 @@ class CrossEncoder(Module):
         return self.rank(mention, candidates)[0]
 
     # ------------------------------------------------------------------
+    # Batched inference
+    # ------------------------------------------------------------------
+    def score_candidate_batch(
+        self,
+        mentions: Sequence[Mention],
+        candidate_lists: Sequence[Sequence[Entity]],
+        mention_tokens: Optional[Sequence[object]] = None,
+    ) -> List[np.ndarray]:
+        """Candidate scores for many mentions in one encoder forward pass.
+
+        All ``(mention, candidate)`` rows are concatenated into a single id
+        matrix and scored together (in :data:`MAX_FORWARD_ROWS` chunks) — the
+        vectorized rerank stage of the serving pipeline.  Returns one score
+        array per mention, aligned with its candidate list (empty array for
+        an empty list).
+
+        ``mention_tokens`` optionally carries per-mention tokenisation
+        artefacts (objects exposing ``prefix_ids``, ``surface_tokens``,
+        ``context_tokens`` and ``normalized_surface``, e.g.
+        :class:`repro.serving.stages.MentionTokens`) so mentions are not
+        re-tokenised here.
+
+        Example::
+
+            scores = crossencoder.score_candidate_batch(mentions, candidates)
+            best = [cands[int(np.argmax(s))] for s, cands in zip(scores, candidates) if len(cands)]
+        """
+        if len(mentions) != len(candidate_lists):
+            raise ValueError("mentions and candidate lists must align")
+        if mention_tokens is not None and len(mention_tokens) != len(mentions):
+            raise ValueError("mention_tokens and mentions must align")
+        row_blocks: List[np.ndarray] = []
+        feature_blocks: List[np.ndarray] = []
+        lengths: List[int] = []
+        for position, (mention, candidates) in enumerate(zip(mentions, candidate_lists)):
+            lengths.append(len(candidates))
+            if not candidates:
+                continue
+            prefix = None
+            mention_sets = None
+            if mention_tokens is not None:
+                tokens = mention_tokens[position]
+                prefix = tokens.prefix_ids
+                mention_sets = (
+                    tokens.surface_tokens,
+                    tokens.context_tokens,
+                    tokens.normalized_surface,
+                )
+            row_blocks.append(self._cross_input_ids(mention, candidates, prefix=prefix))
+            feature_blocks.append(self._candidate_features(mention, candidates, mention_sets=mention_sets))
+        if not row_blocks:
+            return [np.zeros(0) for _ in lengths]
+
+        ids = np.concatenate(row_blocks, axis=0)
+        features = np.concatenate(feature_blocks, axis=0)
+        self.eval()
+        with no_grad():
+            if len(ids) <= MAX_FORWARD_ROWS:
+                flat_scores = self.scores_from_ids(ids, features).data.copy()
+            else:
+                flat_scores = np.concatenate(
+                    [
+                        self.scores_from_ids(
+                            ids[start:start + MAX_FORWARD_ROWS],
+                            features[start:start + MAX_FORWARD_ROWS],
+                        ).data
+                        for start in range(0, len(ids), MAX_FORWARD_ROWS)
+                    ]
+                )
+
+        scores: List[np.ndarray] = []
+        offset = 0
+        for length in lengths:
+            scores.append(flat_scores[offset:offset + length])
+            offset += length
+        return scores
+
+    def predict_batch(
+        self,
+        mentions: Sequence[Mention],
+        candidate_lists: Sequence[Sequence[Entity]],
+    ) -> List[Optional[Entity]]:
+        """Best candidate per mention (None for empty candidate lists).
+
+        Ties are broken toward the earlier candidate, matching the retrieval
+        order, so batched prediction is deterministic.
+        """
+        all_scores = self.score_candidate_batch(mentions, candidate_lists)
+        best: List[Optional[Entity]] = []
+        for scores, candidates in zip(all_scores, candidate_lists):
+            if len(candidates) == 0:
+                best.append(None)
+                continue
+            best.append(candidates[int(np.argmax(scores))])
+        return best
+
+    # ------------------------------------------------------------------
     # Loss
     # ------------------------------------------------------------------
     def example_loss(self, example: RankingExample):
         """Cross entropy of the gold candidate within the candidate list."""
-        ids = encode_cross_inputs(
-            example.mention, example.candidates, self.tokenizer, self.config.encoder.max_length
-        )
+        ids = self._cross_input_ids(example.mention, example.candidates)
         features = self._candidate_features(example.mention, example.candidates)
         scores = self.scores_from_ids(ids, features).reshape(1, len(example.candidates))
         return F.cross_entropy(scores, [example.gold_index], reduction="sum")

@@ -78,22 +78,24 @@ class MultiHeadAttention(Module):
 
         scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
 
-        mask = self._build_mask(
+        bias = self._build_bias(
             batch=query.shape[0],
             query_len=query.shape[1],
             key_len=key.shape[1],
             key_padding_mask=key_padding_mask,
             causal=causal,
         )
-        if mask is not None:
-            scores = F.masked_fill(scores, mask, -1e9)
+        if bias is not None:
+            # Additive -1e9 bias broadcasts over the head/query axes, so no
+            # (batch, heads, query, key) mask is ever materialised.
+            scores = scores + bias
 
         weights = F.softmax(scores, axis=-1)
         weights = self.dropout(weights)
         attended = weights.matmul(v)
         return self.out_proj(self._merge_heads(attended))
 
-    def _build_mask(
+    def _build_bias(
         self,
         batch: int,
         query_len: int,
@@ -101,19 +103,17 @@ class MultiHeadAttention(Module):
         key_padding_mask: Optional[np.ndarray],
         causal: bool,
     ) -> Optional[np.ndarray]:
-        mask = None
+        bias: Optional[np.ndarray] = None
         if key_padding_mask is not None:
             padding = np.asarray(key_padding_mask, dtype=bool)
             if padding.shape != (batch, key_len):
                 raise ValueError(
                     f"key_padding_mask shape {padding.shape} != {(batch, key_len)}"
                 )
-            mask = padding[:, None, None, :]
-            mask = np.broadcast_to(mask, (batch, self.num_heads, query_len, key_len)).copy()
+            bias = np.where(padding, -1e9, 0.0)[:, None, None, :]
         if causal:
-            causal_mask = np.triu(np.ones((query_len, key_len), dtype=bool), k=1)
-            causal_mask = np.broadcast_to(
-                causal_mask[None, None, :, :], (batch, self.num_heads, query_len, key_len)
-            )
-            mask = causal_mask.copy() if mask is None else (mask | causal_mask)
-        return mask
+            causal_bias = np.where(
+                np.triu(np.ones((query_len, key_len), dtype=bool), k=1), -1e9, 0.0
+            )[None, None, :, :]
+            bias = causal_bias if bias is None else bias + causal_bias
+        return bias

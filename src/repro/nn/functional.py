@@ -49,15 +49,12 @@ def sigmoid(x: Tensor) -> Tensor:
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation, as in BERT)."""
-    inner = (x + (x ** 3) * 0.044715) * math.sqrt(2.0 / math.pi)
-    return x * 0.5 * (inner.tanh() + 1.0)
+    return x.gelu()
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x - x.max(axis=axis, keepdims=True).detach()
-    exps = shifted.exp()
-    return exps / exps.sum(axis=axis, keepdims=True)
+    return x.softmax(axis=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:

@@ -83,11 +83,7 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((normalized_shape,)), name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        centred = x - mean
-        variance = (centred * centred).mean(axis=-1, keepdims=True)
-        normed = centred / ((variance + self.eps) ** 0.5)
-        return normed * self.weight + self.bias
+        return x.standardize(self.eps) * self.weight + self.bias
 
     def __repr__(self) -> str:
         return f"LayerNorm(dim={self.normalized_shape})"

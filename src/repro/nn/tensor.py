@@ -14,6 +14,7 @@ activations live in :mod:`repro.nn.functional`).
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -307,6 +308,65 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Fused GELU (tanh approximation, as in BERT).
+
+        One graph node instead of the eight an op-by-op composition builds;
+        ``x**3`` is computed as ``x*x*x`` (numpy's float ``power`` is an order
+        of magnitude slower than two multiplies on large arrays).
+        """
+        x = self.data
+        c = math.sqrt(2.0 / math.pi)
+        t = np.tanh(c * (x + 0.044715 * (x * x * x)))
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                sech_sq = 1.0 - t * t
+                local = 0.5 * (1.0 + t) + 0.5 * x * sech_sq * c * (1.0 + 0.134145 * (x * x))
+                self._accumulate(grad * local)
+
+        return self._make(out_data, (self,), backward)
+
+    def standardize(self, eps: float = 1e-5) -> "Tensor":
+        """Fused ``(x - mean) / sqrt(var + eps)`` over the last axis.
+
+        The normalisation core of layer norm as a single graph node with the
+        closed-form backward, avoiding the six intermediate arrays of the
+        op-by-op version.
+        """
+        x = self.data
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(variance + eps)
+        out_data = centred * inv_std
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                grad_mean = grad.mean(axis=-1, keepdims=True)
+                projection = (grad * out_data).mean(axis=-1, keepdims=True)
+                self._accumulate(inv_std * (grad - grad_mean - out_data * projection))
+
+        return self._make(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        """Fused numerically-stable softmax along ``axis``.
+
+        One graph node instead of the shift/exp/sum/divide chain, with the
+        standard Jacobian-vector backward ``s * (g - sum(g * s))``.
+        """
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        np.exp(shifted, out=shifted)
+        out_data = shifted / shifted.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                inner = (grad * out_data).sum(axis=axis, keepdims=True)
+                self._accumulate(out_data * (grad - inner))
 
         return self._make(out_data, (self,), backward)
 

@@ -1,0 +1,49 @@
+"""Serving layer: the high-throughput batched entity-linking pipeline.
+
+This package turns the research pipeline (bi-encoder candidate generation +
+cross-encoder reranking) into a production-shaped serving path:
+
+* :class:`~repro.serving.pipeline.EntityLinkingPipeline` — batched
+  tokenize → embed → retrieve → rerank over micro-batches, returning
+  structured :class:`~repro.serving.pipeline.LinkingResult` objects.
+* :mod:`repro.serving.stages` — the vectorized stage implementations and the
+  :class:`~repro.serving.stages.PipelineBatch` carrier they transform.
+
+Quickstart::
+
+    from repro.serving import EntityLinkingPipeline
+
+    pipeline = EntityLinkingPipeline.from_blink(blink, entities, k=64)
+    for result in pipeline.link(mentions):
+        print(result.surface, "->", result.predicted_entity_id)
+"""
+
+from .pipeline import (
+    DEFAULT_BATCH_SIZE,
+    EntityLinkingPipeline,
+    LinkingResult,
+    PipelineStats,
+)
+from .stages import (
+    EmbedStage,
+    MentionTokens,
+    PipelineBatch,
+    RerankStage,
+    RetrieveStage,
+    TokenizeStage,
+    TopCandidateStage,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "EntityLinkingPipeline",
+    "LinkingResult",
+    "PipelineStats",
+    "PipelineBatch",
+    "MentionTokens",
+    "TokenizeStage",
+    "EmbedStage",
+    "RetrieveStage",
+    "RerankStage",
+    "TopCandidateStage",
+]

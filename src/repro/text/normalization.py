@@ -24,8 +24,11 @@ def normalize_whitespace(text: str) -> str:
 
 def normalize_text(text: str) -> str:
     """Lowercase, strip accents and punctuation, collapse whitespace."""
-    text = unicodedata.normalize("NFKD", text)
-    text = "".join(char for char in text if not unicodedata.combining(char))
+    if not text.isascii():
+        # Accent stripping only matters for non-ASCII input; NFKD is the
+        # identity on ASCII, so the common case skips the per-character scan.
+        text = unicodedata.normalize("NFKD", text)
+        text = "".join(char for char in text if not unicodedata.combining(char))
     text = text.lower()
     text = _PUNCTUATION_RE.sub(" ", text)
     return normalize_whitespace(text)

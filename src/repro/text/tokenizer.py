@@ -14,7 +14,7 @@ structured inputs used by the linking models:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,6 +80,42 @@ class Tokenizer:
     # ------------------------------------------------------------------
     # Structured linking inputs
     # ------------------------------------------------------------------
+    def mention_token_parts(
+        self,
+        mention_text: str,
+        left_context: str = "",
+        right_context: str = "",
+    ) -> Tuple[List[str], List[str], List[str]]:
+        """Tokenized ``(left_context, surface, right_context)`` of a mention."""
+        return (
+            self.tokenize(left_context),
+            self.tokenize(mention_text),
+            self.tokenize(right_context),
+        )
+
+    def mention_tokens(
+        self,
+        mention_text: str,
+        left_context: str = "",
+        right_context: str = "",
+    ) -> List[str]:
+        """The canonical mention-side token sequence.
+
+        ``[bos] left <m> surface </m> right`` — the single source of truth
+        for the bi-encoder mention input *and* the mention half of the
+        cross-encoder input (:meth:`encode_cross` prepends exactly this).
+        """
+        return self.assemble_mention_tokens(
+            *self.mention_token_parts(mention_text, left_context, right_context)
+        )
+
+    @staticmethod
+    def assemble_mention_tokens(
+        left: List[str], surface: List[str], right: List[str]
+    ) -> List[str]:
+        """Assemble already-tokenized mention parts into the canonical sequence."""
+        return [BOS_TOKEN] + left + [MENTION_START] + surface + [MENTION_END] + right
+
     def encode_mention(
         self,
         mention_text: str,
@@ -88,14 +124,7 @@ class Tokenizer:
         max_length: Optional[int] = None,
     ) -> np.ndarray:
         """Encode a mention in context with mention boundary markers."""
-        tokens = (
-            [BOS_TOKEN]
-            + self.tokenize(left_context)
-            + [MENTION_START]
-            + self.tokenize(mention_text)
-            + [MENTION_END]
-            + self.tokenize(right_context)
-        )
+        tokens = self.mention_tokens(mention_text, left_context, right_context)
         return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
 
     def encode_entity(
@@ -119,12 +148,7 @@ class Tokenizer:
     ) -> np.ndarray:
         """Encode the concatenated mention/entity input for the cross-encoder."""
         tokens = (
-            [BOS_TOKEN]
-            + self.tokenize(left_context)
-            + [MENTION_START]
-            + self.tokenize(mention_text)
-            + [MENTION_END]
-            + self.tokenize(right_context)
+            self.mention_tokens(mention_text, left_context, right_context)
             + [SEP_TOKEN]
             + self.tokenize(title)
             + [SEP_TOKEN]

@@ -1,0 +1,260 @@
+"""Unit tests for the sharded entity index, blocked top-k and the LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.kb import Entity
+from repro.linking import (
+    EntityIndex,
+    LRUEmbeddingCache,
+    RetrievalResult,
+    ShardedEntityIndex,
+    blocked_topk,
+)
+
+
+def make_entities(world, count, start=0):
+    return [
+        Entity(
+            entity_id=f"{world}:{index}",
+            title=f"{world} entity {index}",
+            description=f"description of {world} {index}",
+            domain=world,
+        )
+        for index in range(start, start + count)
+    ]
+
+
+class TestRetrievalResult:
+    def test_rank_of_and_contains_are_dict_backed(self):
+        result = RetrievalResult(entity_ids=["a", "b", "c"], scores=[3.0, 2.0, 1.0])
+        assert result.contains("b")
+        assert not result.contains("z")
+        assert result.rank_of("a") == 0
+        assert result.rank_of("c") == 2
+        assert result.rank_of("z") is None
+        assert result._rank_by_id == {"a": 0, "b": 1, "c": 2}
+
+    def test_duplicate_ids_keep_first_rank(self):
+        result = RetrievalResult(entity_ids=["a", "a"], scores=[1.0, 1.0])
+        assert result.rank_of("a") == 0
+
+    def test_top_id_and_len(self):
+        assert RetrievalResult([], []).top_id is None
+        assert RetrievalResult(["x"], [0.5]).top_id == "x"
+        assert len(RetrievalResult(["x", "y"], [0.5, 0.4])) == 2
+
+
+class TestBlockedTopk:
+    def test_matches_full_sort_across_blocks(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.normal(size=(57, 8))
+        queries = rng.normal(size=(5, 8))
+        scores, positions = blocked_topk(queries, vectors, k=7, block_size=10)
+        full = queries @ vectors.T
+        for row in range(len(queries)):
+            expected = np.sort(full[row])[::-1][:7]
+            assert np.allclose(scores[row], expected)
+            assert np.allclose(full[row][positions[row]], scores[row])
+
+    def test_tie_breaking_prefers_lower_position(self):
+        vectors = np.ones((6, 4))  # all entities score identically
+        queries = np.ones((2, 4))
+        _, positions = blocked_topk(queries, vectors, k=6, block_size=2)
+        assert positions.tolist() == [[0, 1, 2, 3, 4, 5]] * 2
+
+    def test_tie_breaking_exact_across_block_boundaries(self):
+        # Regression: with many tied candidates spanning several blocks, the
+        # selected subset itself must prefer the lowest positions — not just
+        # sort whatever an arbitrary partition kept.
+        vectors = np.ones((300, 4))
+        scores, positions = blocked_topk(np.ones((1, 4)), vectors, k=2, block_size=64)
+        assert positions.tolist() == [[0, 1]]
+        assert np.allclose(scores, 4.0)
+
+    def test_k_clamped_to_num_entities(self):
+        vectors = np.eye(3)
+        scores, positions = blocked_topk(np.eye(3)[:1], vectors, k=10)
+        assert scores.shape == (1, 3)
+        assert positions[0, 0] == 0
+
+
+class TestEntityIndexBlocked:
+    def test_search_is_deterministic_across_calls(self):
+        entities = make_entities("lego", 20)
+        rng = np.random.default_rng(3)
+        index = EntityIndex(entities, rng.normal(size=(20, 6)), block_size=4)
+        queries = rng.normal(size=(4, 6))
+        first = index.search(queries, k=5)
+        second = index.search(queries, k=5)
+        for a, b in zip(first, second):
+            assert a.entity_ids == b.entity_ids
+            assert a.scores == b.scores
+
+    def test_k_larger_than_index_returns_everything(self):
+        entities = make_entities("lego", 4)
+        index = EntityIndex(entities, np.eye(4))
+        result = index.search(np.eye(4)[:1], k=64)[0]
+        assert len(result) == 4
+
+    def test_contains(self):
+        entities = make_entities("lego", 3)
+        index = EntityIndex(entities, np.eye(3))
+        assert "lego:1" in index
+        assert "other:1" not in index
+
+
+class TestLRUEmbeddingCache:
+    def test_eviction_drops_least_recently_used(self):
+        cache = LRUEmbeddingCache(capacity=2)
+        cache.put("a", np.zeros(2))
+        cache.put("b", np.ones(2))
+        assert cache.get("a") is not None  # refresh "a"; "b" is now stalest
+        cache.put("c", np.full(2, 2.0))
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert len(cache) == 2
+
+    def test_hit_and_miss_counters(self):
+        cache = LRUEmbeddingCache(capacity=4)
+        cache.put("a", np.zeros(2))
+        cache.get("a")
+        cache.get("missing")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_zero_capacity_never_stores(self):
+        cache = LRUEmbeddingCache(capacity=0)
+        cache.put("a", np.zeros(2))
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUEmbeddingCache(capacity=-1)
+
+
+class TestShardedEntityIndex:
+    def build(self, cache_size=4096):
+        index = ShardedEntityIndex(cache_size=cache_size)
+        index.add_shard("lego", make_entities("lego", 5), np.eye(5))
+        index.add_shard("yugioh", make_entities("yugioh", 3), np.eye(3, 5) * 0.5)
+        return index
+
+    def test_worlds_and_len(self):
+        index = self.build()
+        assert index.worlds() == ["lego", "yugioh"]
+        assert len(index) == 8
+        assert index.num_shards == 2
+
+    def test_empty_shard_contributes_no_candidates(self):
+        index = self.build()
+        index.add_shard("starwars", [])
+        assert index.shard("starwars") is None
+        results = index.search(np.eye(5)[:2], k=4)
+        assert all(len(result) == 4 for result in results)
+        results = index.search(np.eye(5)[:1], k=4, worlds=["starwars"])
+        assert results[0].entity_ids == []
+        assert results[0].scores == []
+
+    def test_all_empty_shards_return_empty_results(self):
+        index = ShardedEntityIndex()
+        index.add_shard("empty", [])
+        results = index.search(np.zeros((3, 5)), k=8)
+        assert len(results) == 3
+        assert all(result.entity_ids == [] for result in results)
+
+    def test_k_larger_than_total_entities(self):
+        index = self.build()
+        result = index.search(np.ones((1, 5)), k=100)[0]
+        assert len(result) == 8  # every entity of every shard
+
+    def test_merge_tie_breaking_is_deterministic(self):
+        index = ShardedEntityIndex()
+        index.add_shard("alpha", make_entities("alpha", 2), np.ones((2, 3)))
+        index.add_shard("beta", make_entities("beta", 2), np.ones((2, 3)))
+        result = index.search(np.ones((1, 3)), k=4)[0]
+        # Equal scores: shard insertion order first, then entity position.
+        assert result.entity_ids == ["alpha:0", "alpha:1", "beta:0", "beta:1"]
+        repeat = index.search(np.ones((1, 3)), k=4)[0]
+        assert repeat.entity_ids == result.entity_ids
+
+    def test_routed_search_groups_by_world(self):
+        index = self.build()
+        queries = np.eye(5)[:3]
+        routed = index.search_routed(queries, k=2, routes=["lego", "yugioh", None])
+        assert all(eid.startswith("lego:") for eid in routed[0].entity_ids)
+        assert all(eid.startswith("yugioh:") for eid in routed[1].entity_ids)
+        # The unrouted query falls back to a fan-out over all shards.
+        fan_out = index.search(queries[2:], k=2)[0]
+        assert routed[2].entity_ids == fan_out.entity_ids
+
+    def test_routed_search_unknown_world_falls_back(self):
+        index = self.build()
+        routed = index.search_routed(np.eye(5)[:1], k=3, routes=["atlantis"])
+        fan_out = index.search(np.eye(5)[:1], k=3)
+        assert routed[0].entity_ids == fan_out[0].entity_ids
+
+    def test_unknown_world_in_search_raises(self):
+        index = self.build()
+        with pytest.raises(KeyError):
+            index.search(np.eye(5)[:1], k=2, worlds=["atlantis"])
+
+    def test_duplicate_shard_rejected(self):
+        index = self.build()
+        with pytest.raises(ValueError):
+            index.add_shard("lego", make_entities("lego", 2))
+
+    def test_lazy_shard_built_on_first_search(self):
+        calls = []
+
+        def embed_fn(entities):
+            calls.append(len(entities))
+            return np.eye(len(entities), 4)
+
+        index = ShardedEntityIndex(embed_fn=embed_fn)
+        index.add_shard("lego", make_entities("lego", 4))
+        index.add_shard("yugioh", make_entities("yugioh", 2))
+        assert not index.is_materialized("lego")
+        assert calls == []
+        index.search(np.eye(4)[:1], k=2, worlds=["lego"])
+        assert calls == [4]  # only the routed shard was embedded
+        assert index.is_materialized("lego")
+        assert not index.is_materialized("yugioh")
+        index.search(np.eye(4)[:1], k=2, worlds=["lego"])
+        assert calls == [4]  # materialisation happens exactly once
+
+    def test_lazy_shard_without_embed_fn_raises(self):
+        index = ShardedEntityIndex()
+        index.add_shard("lego", make_entities("lego", 2))
+        with pytest.raises(ValueError):
+            index.shard("lego")
+
+    def test_vector_lookup_uses_lru_cache(self):
+        index = self.build(cache_size=2)
+        first = index.vector("lego:0")
+        assert np.allclose(first, np.eye(5)[0])
+        assert index.embedding_cache.misses == 1
+        index.vector("lego:0")
+        assert index.embedding_cache.hits == 1
+        # Fill beyond capacity: lego:0 becomes stalest after two more inserts.
+        index.vector("lego:1")
+        index.vector("lego:2")
+        assert "lego:0" not in index.embedding_cache
+        assert len(index.embedding_cache) == 2
+
+    def test_entity_and_contains(self):
+        index = self.build()
+        assert index.entity("yugioh:1").domain == "yugioh"
+        assert "yugioh:1" in index
+        assert "yugioh:9" not in index
+
+    def test_from_entities_groups_by_domain(self):
+        entities = make_entities("lego", 3) + make_entities("yugioh", 2)
+        index = ShardedEntityIndex.from_entities(entities, embed_fn=lambda e: np.eye(len(e), 4))
+        assert index.worlds() == ["lego", "yugioh"]
+        assert len(index) == 5
+
+    def test_search_rejects_non_positive_k(self):
+        index = self.build()
+        with pytest.raises(ValueError):
+            index.search(np.eye(5)[:1], k=0)
