@@ -16,6 +16,13 @@ Two pipeline configurations are timed:
   per-row compute in both paths, so the amortisable share is smaller;
   batch-64 is asserted to be >= 3x (typically ~5x).
 
+A second test drives the :class:`repro.serving.LinkingService` frontend with
+requests submitted **one at a time** over a multi-micro-batch stream and
+asserts its dynamic batching sustains the batch-64 pipeline's throughput
+(submission overlaps batch compute, so the queueing overhead hides behind
+the BLAS calls).  Machine-readable results land in ``BENCH_serving.json`` at
+the repo root so the perf trajectory is tracked across PRs.
+
 Baseline and batched runs are interleaved and each takes its best-of-5, so
 CPU noise bursts hit both sides alike.
 
@@ -24,13 +31,15 @@ Run directly with::
     PYTHONPATH=src python -m pytest benchmarks/test_bench_pipeline_throughput.py -q -s
 """
 
+import json
 import time
+from pathlib import Path
 
 from repro.data import generate_corpus, split_domain
 from repro.data.worlds import TEST_DOMAINS
 from repro.generation import build_tokenizer_for_corpus
 from repro.linking import BlinkPipeline
-from repro.serving import EntityLinkingPipeline
+from repro.serving import EntityLinkingPipeline, LinkingService
 from repro.utils.config import BiEncoderConfig, CorpusConfig, CrossEncoderConfig, EncoderConfig
 
 NUM_MENTIONS = 64
@@ -38,6 +47,18 @@ BATCH_SIZES = (1, 8, 64)
 REPEATS = 5
 MIN_RETRIEVAL_SPEEDUP = 5.0
 MIN_RERANK_SPEEDUP = 3.0
+
+#: The service benchmark streams several micro-batches so submission overlaps
+#: batch compute — the sustained-serving shape.
+SERVICE_STREAM_LENGTH = 192
+SERVICE_BATCH_SIZE = 64
+#: The service must sustain batch-64 pipeline throughput; 0.95 is the noise
+#: floor of best-of-5 wall-clock timing on shared hardware (measured ratios
+#: sit at 0.99–1.01).
+MIN_SERVICE_VS_BATCH64 = 0.95
+MIN_SERVICE_VS_LOOP = 3.0
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
 
 def _build_pipeline_inputs():
@@ -132,3 +153,103 @@ def test_pipeline_throughput_scales_with_batch_size():
     )
     # Medium batches must already beat the per-mention loop clearly.
     assert retrieval["batch=8"] >= 2.0 * retrieval_base
+
+
+def test_linking_service_sustains_batch_throughput():
+    """Dynamic batching with one-at-a-time submits vs the batch-64 pipeline.
+
+    192 mentions stream through three paths (interleaved best-of-5):
+
+    * the per-mention loop (the no-batching baseline),
+    * ``pipeline.link`` with batch_size 64 (the hand-assembled-batch optimum),
+    * ``LinkingService.submit`` one mention at a time (the production shape).
+
+    The service must sustain the batch-64 throughput: its scheduler flushes
+    full micro-batches while callers keep submitting, so queueing overhead
+    overlaps batch compute.  Results are written to ``BENCH_serving.json``.
+    """
+    blink, entities, mentions = _build_pipeline_inputs()
+    stream = (mentions * ((SERVICE_STREAM_LENGTH // len(mentions)) + 1))[:SERVICE_STREAM_LENGTH]
+
+    index = blink.biencoder.build_sharded_index(entities, lazy=False)
+    pipeline = EntityLinkingPipeline(
+        blink.biencoder,
+        index,
+        blink.crossencoder,
+        k=4,
+        rerank=True,
+        batch_size=SERVICE_BATCH_SIZE,
+        route_by_domain=False,
+    )
+    pipeline.link(stream[:SERVICE_BATCH_SIZE])  # warm-up: caches, allocations
+
+    best = {"per-mention loop": float("inf"), "batch=64": float("inf"),
+            "service (1-at-a-time)": float("inf")}
+    with LinkingService(
+        pipeline, max_batch_size=SERVICE_BATCH_SIZE, max_wait_ms=500.0
+    ) as service:
+        service.warm_up()
+        pipeline.stats.reset()
+        for _ in range(REPEATS):
+            best["per-mention loop"] = min(
+                best["per-mention loop"], _timed(lambda: [pipeline.link([m]) for m in stream])
+            )
+            best["batch=64"] = min(best["batch=64"], _timed(lambda: pipeline.link(stream)))
+
+            def serve():
+                futures = [service.submit(mention) for mention in stream]
+                for future in futures:
+                    future.result(timeout=120.0)
+
+            best["service (1-at-a-time)"] = min(best["service (1-at-a-time)"], _timed(serve))
+        latency = pipeline.stats.latency_summary()
+
+    throughput = {label: SERVICE_STREAM_LENGTH / seconds for label, seconds in best.items()}
+    _report(
+        f"LinkingService (k=4, rerank on, max_batch={SERVICE_BATCH_SIZE}) over "
+        f"{SERVICE_STREAM_LENGTH} mentions, {len(entities)} entities in "
+        f"{index.num_shards} shards",
+        throughput,
+    )
+    print(
+        f"  service latency: p50={latency['p50'] * 1000:.2f}ms "
+        f"p90={latency['p90'] * 1000:.2f}ms p99={latency['p99'] * 1000:.2f}ms"
+    )
+
+    BENCH_OUTPUT.write_text(json.dumps({
+        "benchmark": "serving_throughput",
+        "config": {
+            "num_mentions": SERVICE_STREAM_LENGTH,
+            "k": 4,
+            "rerank": True,
+            "max_batch_size": SERVICE_BATCH_SIZE,
+            "num_entities": len(entities),
+            "num_shards": index.num_shards,
+            "repeats": REPEATS,
+        },
+        "mentions_per_second": {
+            "per_mention_loop": round(throughput["per-mention loop"], 1),
+            "batch_pipeline_64": round(throughput["batch=64"], 1),
+            "linking_service": round(throughput["service (1-at-a-time)"], 1),
+        },
+        "service_vs_batch64": round(
+            throughput["service (1-at-a-time)"] / throughput["batch=64"], 4
+        ),
+        "service_latency_ms": {
+            "p50": round(latency["p50"] * 1000, 3),
+            "p90": round(latency["p90"] * 1000, 3),
+            "p99": round(latency["p99"] * 1000, 3),
+        },
+    }, indent=1) + "\n")
+    print(f"  wrote {BENCH_OUTPUT.name}")
+
+    assert throughput["service (1-at-a-time)"] >= (
+        MIN_SERVICE_VS_BATCH64 * throughput["batch=64"]
+    ), (
+        f"LinkingService throughput {throughput['service (1-at-a-time)']:.1f} mentions/s "
+        f"fell below {MIN_SERVICE_VS_BATCH64}x the batch-64 pipeline "
+        f"{throughput['batch=64']:.1f}"
+    )
+    assert throughput["service (1-at-a-time)"] >= (
+        MIN_SERVICE_VS_LOOP * throughput["per-mention loop"]
+    )

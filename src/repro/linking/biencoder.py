@@ -163,6 +163,30 @@ class BiEncoder(Module):
                 index.shard(world)
         return index
 
+    def load_sharded_index(
+        self,
+        path,
+        batch_size: int = 64,
+        cache_size: Optional[int] = None,
+    ) -> ShardedEntityIndex:
+        """Restore a :meth:`ShardedEntityIndex.save` snapshot with this encoder.
+
+        Snapshots persist vectors and entity metadata but not the embedding
+        callable; this rebinds ``embed_fn`` to this bi-encoder so still-cold
+        shards can materialise lazily after a process restart.
+
+        Example::
+
+            biencoder.build_sharded_index(entities).save("snapshots/kb")
+            ...                                     # process restart
+            index = biencoder.load_sharded_index("snapshots/kb")
+        """
+        return ShardedEntityIndex.load(
+            path,
+            embed_fn=lambda chunk: self.embed_entities(chunk, batch_size=batch_size),
+            cache_size=cache_size,
+        )
+
     # ------------------------------------------------------------------
     # Loss
     # ------------------------------------------------------------------

@@ -29,9 +29,11 @@ order first), so repeated searches always return identical rankings.
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +45,13 @@ DEFAULT_BLOCK_SIZE = 2048
 
 #: Default capacity of the per-index embedding LRU cache (entity-id keyed).
 DEFAULT_CACHE_SIZE = 4096
+
+#: On-disk snapshot format version written by :meth:`ShardedEntityIndex.save`.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: File names inside a snapshot directory.
+SNAPSHOT_MANIFEST = "index.json"
+SNAPSHOT_VECTORS = "vectors.npz"
 
 EmbedFn = Callable[[Sequence[Entity]], np.ndarray]
 
@@ -412,6 +421,90 @@ class ShardedEntityIndex:
         return vector
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Snapshot the index to a directory; returns the directory path.
+
+        The snapshot holds a JSON manifest (shard order, entity metadata,
+        block size, cache capacity) plus one ``npz`` array per *materialised*
+        shard.  Saving never materialises anything: cold (lazy) shards are
+        recorded without vectors and stay cold after :meth:`load`, so a
+        restored index re-embeds exactly the worlds the original would have.
+        Vectors are stored as float64 without re-encoding, so restored
+        rankings are bit-identical to the pre-save index.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        shards = []
+        arrays: Dict[str, np.ndarray] = {}
+        for position, (world, members) in enumerate(self._shard_entities.items()):
+            vectors = self._shard_vectors.get(world)
+            shards.append(
+                {
+                    "world": world,
+                    "materialized": vectors is not None,
+                    "entities": [entity.to_dict() for entity in members],
+                }
+            )
+            if vectors is not None:
+                arrays[f"shard_{position}"] = vectors
+        manifest = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "block_size": self._block_size,
+            "cache_size": self.embedding_cache.capacity,
+            "shards": shards,
+        }
+        # Write-then-rename so a crash mid-save never leaves a truncated
+        # file; vectors land before the manifest, which acts as the commit
+        # marker a reader looks at first.
+        vectors_tmp = path / (SNAPSHOT_VECTORS + ".tmp")
+        with open(vectors_tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+        vectors_tmp.replace(path / SNAPSHOT_VECTORS)
+        manifest_tmp = path / (SNAPSHOT_MANIFEST + ".tmp")
+        manifest_tmp.write_text(json.dumps(manifest, indent=1))
+        manifest_tmp.replace(path / SNAPSHOT_MANIFEST)
+        return path
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        embed_fn: Optional[EmbedFn] = None,
+        block_size: Optional[int] = None,
+        cache_size: Optional[int] = None,
+    ) -> "ShardedEntityIndex":
+        """Restore an index saved with :meth:`save`.
+
+        Shard insertion order, materialised vectors and cold-shard status all
+        round-trip exactly, so ``load(path).search(q, k)`` ranks identically
+        to the pre-save index.  ``embed_fn`` re-attaches the embedding
+        function (snapshots cannot serialise callables); it is only required
+        once a still-cold shard is first searched.  ``block_size`` /
+        ``cache_size`` override the persisted values when given.
+        """
+        path = Path(path)
+        manifest = json.loads((path / SNAPSHOT_MANIFEST).read_text())
+        version = manifest.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot format version {version!r} "
+                f"(expected {SNAPSHOT_FORMAT_VERSION})"
+            )
+        index = cls(
+            embed_fn=embed_fn,
+            block_size=manifest["block_size"] if block_size is None else block_size,
+            cache_size=manifest["cache_size"] if cache_size is None else cache_size,
+        )
+        with np.load(path / SNAPSHOT_VECTORS) as arrays:
+            for position, shard in enumerate(manifest["shards"]):
+                entities = [Entity.from_dict(payload) for payload in shard["entities"]]
+                vectors = arrays[f"shard_{position}"] if shard["materialized"] else None
+                index.add_shard(shard["world"], entities, vectors)
+        return index
+
+    # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
     def search(
@@ -499,7 +592,11 @@ class ShardedEntityIndex:
             key = route if route in self._shard_entities else None
             grouped.setdefault(key, []).append(index)
 
-        results: List[RetrievalResult] = [RetrievalResult([], [])] * len(query_vectors)
+        # One placeholder instance per query — a single shared RetrievalResult
+        # replicated n times would alias every unfilled slot to one object.
+        results: List[RetrievalResult] = [
+            RetrievalResult([], []) for _ in range(len(query_vectors))
+        ]
         for route, indices in grouped.items():
             worlds = None if route is None else [route]
             group_results = self.search(query_vectors[indices], k, worlds=worlds)

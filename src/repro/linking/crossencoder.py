@@ -46,8 +46,12 @@ ENTITY_CACHE_CAPACITY = 65536
 
 
 def _cache_put(cache: Dict, key: str, value) -> None:
-    """Insert with FIFO eviction at :data:`ENTITY_CACHE_CAPACITY`."""
-    if len(cache) >= ENTITY_CACHE_CAPACITY:
+    """Insert with FIFO eviction at :data:`ENTITY_CACHE_CAPACITY`.
+
+    Overwriting an existing key never evicts: the dict does not grow, so
+    removing the oldest entry would throw away an unrelated cached value.
+    """
+    if key not in cache and len(cache) >= ENTITY_CACHE_CAPACITY:
         del cache[next(iter(cache))]
     cache[key] = value
 

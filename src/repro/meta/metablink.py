@@ -110,7 +110,10 @@ class MetaBiEncoderTrainer:
                 weighted_batch = [
                     pair.reweighted(weight) for pair, weight in zip(batch, result.weights)
                 ]
-                loss = self.model.pairs_loss(weighted_batch, reduction="sum")
+                # The update must optimise the same objective the weights were
+                # derived for: _loss_fn routes to the fixed-negative loss when
+                # a negative pool exists (exactly what the reweighter used).
+                loss = self._loss_fn(weighted_batch, reduction="sum")
                 self.model.zero_grad()
                 loss.backward()
                 clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)

@@ -6,16 +6,24 @@ cross-encoder reranking) into a production-shaped serving path:
 * :class:`~repro.serving.pipeline.EntityLinkingPipeline` — batched
   tokenize → embed → retrieve → rerank over micro-batches, returning
   structured :class:`~repro.serving.pipeline.LinkingResult` objects.
+* :class:`~repro.serving.service.LinkingService` — the asynchronous frontend:
+  per-mention submits, dynamic micro-batching (flush on ``max_batch_size`` or
+  ``max_wait_ms``), per-request futures and latency percentiles.
 * :mod:`repro.serving.stages` — the vectorized stage implementations and the
   :class:`~repro.serving.stages.PipelineBatch` carrier they transform.
 
 Quickstart::
 
-    from repro.serving import EntityLinkingPipeline
+    from repro.serving import EntityLinkingPipeline, LinkingService
 
     pipeline = EntityLinkingPipeline.from_blink(blink, entities, k=64)
     for result in pipeline.link(mentions):
         print(result.surface, "->", result.predicted_entity_id)
+
+    with LinkingService(pipeline, max_wait_ms=5.0) as service:
+        service.warm_up()
+        future = service.submit(mentions[0])      # one request at a time
+        print(future.result().predicted_entity_id)
 """
 
 from .pipeline import (
@@ -24,6 +32,7 @@ from .pipeline import (
     LinkingResult,
     PipelineStats,
 )
+from .service import DEFAULT_MAX_WAIT_MS, LinkingService
 from .stages import (
     EmbedStage,
     MentionTokens,
@@ -36,8 +45,10 @@ from .stages import (
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MAX_WAIT_MS",
     "EntityLinkingPipeline",
     "LinkingResult",
+    "LinkingService",
     "PipelineStats",
     "PipelineBatch",
     "MentionTokens",

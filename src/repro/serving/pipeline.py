@@ -21,9 +21,13 @@ Example::
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Deque, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
 
 from ..kb.entity import Entity, Mention
 from ..linking.biencoder import BiEncoder
@@ -44,6 +48,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 #: Default micro-batch size of the serving pipeline.
 DEFAULT_BATCH_SIZE = 64
+
+#: Per-request latency samples retained by :class:`PipelineStats`; a rolling
+#: window keeps the memory of a long-running serving process bounded while
+#: the percentiles track recent traffic.
+LATENCY_WINDOW = 8192
 
 
 @dataclass
@@ -80,11 +89,25 @@ class LinkingResult:
 
 @dataclass
 class PipelineStats:
-    """Cumulative serving counters: mentions, batches, per-stage seconds."""
+    """Cumulative serving counters: mentions, batches, per-stage seconds.
+
+    ``request_latencies`` holds per-request wall-clock samples (seconds,
+    submit → completion) recorded by the :class:`~repro.serving.service.LinkingService`
+    frontend, kept in a rolling :data:`LATENCY_WINDOW`-sized window so the
+    percentiles reflect recent traffic with bounded memory.
+    """
 
     mentions: int = 0
     batches: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    request_latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
+    )
+    # Latency samples are written by the service scheduler thread and read by
+    # monitoring callers; the lock keeps percentile reads from racing appends.
+    _latency_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     @property
     def total_seconds(self) -> float:
@@ -98,10 +121,48 @@ class PipelineStats:
     def record(self, stage_name: str, seconds: float) -> None:
         self.stage_seconds[stage_name] = self.stage_seconds.get(stage_name, 0.0) + seconds
 
+    def record_latency(self, seconds: float) -> None:
+        """Add one per-request latency sample (submit → completion)."""
+        with self._latency_lock:
+            self.request_latencies.append(seconds)
+
+    def _latency_samples(self) -> np.ndarray:
+        with self._latency_lock:
+            return np.fromiter(self.request_latencies, dtype=np.float64)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile in seconds over the rolling window (0.0 if empty).
+
+        ``percentile`` is in [0, 100]; linear interpolation between samples,
+        matching ``numpy.percentile``'s default behaviour.
+        """
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        samples = self._latency_samples()
+        if samples.size == 0:
+            return 0.0
+        return float(np.percentile(samples, percentile))
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50 / p90 / p99 / mean / count of the rolling latency window."""
+        samples = self._latency_samples()
+        if samples.size == 0:
+            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        p50, p90, p99 = np.percentile(samples, [50.0, 90.0, 99.0])
+        return {
+            "count": float(samples.size),
+            "mean": float(samples.mean()),
+            "p50": float(p50),
+            "p90": float(p90),
+            "p99": float(p99),
+        }
+
     def reset(self) -> None:
         self.mentions = 0
         self.batches = 0
         self.stage_seconds.clear()
+        with self._latency_lock:
+            self.request_latencies.clear()
 
 
 class EntityLinkingPipeline:

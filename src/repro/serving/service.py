@@ -1,0 +1,258 @@
+"""Asynchronous serving frontend: dynamic micro-batching over the pipeline.
+
+:class:`LinkingService` is the piece that turns the batched
+:class:`~repro.serving.pipeline.EntityLinkingPipeline` into something a server
+process can run: callers submit *individual* :class:`~repro.kb.entity.Mention`
+requests and receive futures, while a background scheduler thread accumulates
+the queue into dynamic micro-batches and flushes one into the pipeline when
+either
+
+* ``max_batch_size`` requests are waiting (throughput-bound flush), or
+* the oldest waiting request has aged ``max_wait_ms`` (latency-bound flush).
+
+Per-request submit→completion latency is recorded into the pipeline's
+:class:`~repro.serving.pipeline.PipelineStats` rolling window, so the p50/p99
+serving percentiles sit next to the per-stage throughput counters.
+
+Example::
+
+    service = LinkingService(pipeline, max_batch_size=64, max_wait_ms=5.0)
+    service.warm_up()                      # materialise shards before traffic
+    future = service.submit(mention)       # non-blocking
+    result = future.result(timeout=1.0)    # LinkingResult
+    service.close()                        # drains the queue, then stops
+
+The service is also a context manager (``with LinkingService(...) as s:``);
+leaving the block drains outstanding requests and joins the worker thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+from ..kb.entity import Mention
+from ..linking.candidates import ShardedEntityIndex
+from .pipeline import EntityLinkingPipeline, LinkingResult
+
+#: Default maximum age of the oldest queued request before a partial batch is
+#: flushed anyway (milliseconds).
+DEFAULT_MAX_WAIT_MS = 10.0
+
+
+@dataclass
+class _PendingRequest:
+    """One queued mention with its caller-facing future and submit time."""
+
+    mention: Mention
+    future: "Future[LinkingResult]"
+    submitted_at: float
+
+
+class LinkingService:
+    """Dynamic-batching frontend over an :class:`EntityLinkingPipeline`.
+
+    Parameters
+    ----------
+    pipeline:
+        The batched pipeline doing the actual linking work.
+    max_batch_size:
+        Flush as soon as this many requests are queued.  Defaults to the
+        pipeline's own micro-batch size so one flush is one pipeline chunk.
+    max_wait_ms:
+        Flush a partial batch once its oldest request has waited this long —
+        the latency bound under trickling traffic.
+    start:
+        Start the scheduler thread immediately (pass False to start manually
+        via :meth:`start`, e.g. after :meth:`warm_up`).
+    """
+
+    def __init__(
+        self,
+        pipeline: EntityLinkingPipeline,
+        max_batch_size: Optional[int] = None,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        start: bool = True,
+    ) -> None:
+        if max_batch_size is None:
+            max_batch_size = pipeline.batch_size
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.pipeline = pipeline
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+
+        self._queue: Deque[_PendingRequest] = deque()
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._closing = False
+        self._worker: Optional[threading.Thread] = None
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the scheduler thread (idempotent while running)."""
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("cannot restart a closed LinkingService")
+            if self._worker is not None and self._worker.is_alive():
+                return
+            self._worker = threading.Thread(
+                target=self._run, name="linking-service-scheduler", daemon=True
+            )
+            self._worker.start()
+
+    @property
+    def running(self) -> bool:
+        """Whether the scheduler thread is alive."""
+        return self._worker is not None and self._worker.is_alive()
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: reject new submits, drain the queue, join.
+
+        Requests already queued at close time are still flushed and their
+        futures completed; only *new* submissions are rejected.  Idempotent.
+        """
+        with self._lock:
+            self._closing = True
+            self._work_ready.notify_all()
+            worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "LinkingService":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, mention: Mention) -> "Future[LinkingResult]":
+        """Enqueue one mention; returns a future resolving to its result.
+
+        Non-blocking: the scheduler thread batches queued mentions and the
+        future completes when its micro-batch has been linked.  Raises
+        ``RuntimeError`` after :meth:`close`.
+        """
+        request = _PendingRequest(
+            mention=mention, future=Future(), submitted_at=time.perf_counter()
+        )
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("LinkingService is closed")
+            if self._worker is None:
+                raise RuntimeError("LinkingService is not started")
+            self._queue.append(request)
+            # Wake the scheduler only when its state can change: the first
+            # request arms the max_wait deadline, a full batch flushes
+            # immediately.  Intermediate submits would only make the worker
+            # wake, re-count and sleep again — per-request wakeups are the
+            # dominant dynamic-batching overhead at high submission rates.
+            queued = len(self._queue)
+            if queued == 1 or queued >= self.max_batch_size:
+                self._work_ready.notify()
+        return request.future
+
+    def link(self, mention: Mention, timeout: Optional[float] = None) -> LinkingResult:
+        """Blocking convenience wrapper: submit one mention and wait."""
+        return self.submit(mention).result(timeout=timeout)
+
+    @property
+    def pending(self) -> int:
+        """Number of requests currently waiting in the queue."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def stats(self):
+        """The underlying pipeline's :class:`PipelineStats` (shared object)."""
+        return self.pipeline.stats
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm_up(self, worlds: Optional[Sequence[str]] = None) -> List[str]:
+        """Materialise index shards ahead of traffic; returns warmed worlds.
+
+        With a :class:`~repro.linking.candidates.ShardedEntityIndex` this
+        builds (embeds) the selected shards — all of them by default — so the
+        first request to each world does not pay the lazy embedding cost.
+        A flat index has nothing to warm and returns an empty list.
+
+        Call this *before* traffic flows (e.g. construct with ``start=False``,
+        warm up, then :meth:`start`): the index does not lock its lazy shard
+        builds, so warming a world the scheduler is concurrently searching
+        can embed that shard twice.  With a deterministic ``embed_fn`` (the
+        bi-encoder in eval mode) the duplicate build is wasted work, never
+        wrong results.
+        """
+        index = self.pipeline.index
+        if not isinstance(index, ShardedEntityIndex):
+            return []
+        warmed: List[str] = []
+        for world in (index.worlds() if worlds is None else worlds):
+            index.shard(world)
+            warmed.append(world)
+        return warmed
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        max_wait = self.max_wait_ms / 1000.0
+        while True:
+            with self._lock:
+                # Sleep until there is work or a shutdown request.
+                while not self._queue and not self._closing:
+                    self._work_ready.wait()
+                if not self._queue and self._closing:
+                    return
+                # Work exists: hold out for a full batch until the oldest
+                # request hits the latency bound (skip the wait on shutdown —
+                # drain as fast as possible).
+                deadline = self._queue[0].submitted_at + max_wait
+                while (
+                    len(self._queue) < self.max_batch_size
+                    and not self._closing
+                ):
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or not self._work_ready.wait(timeout=remaining):
+                        break
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(self.max_batch_size, len(self._queue)))
+                ]
+            self._flush(batch)
+
+    def _flush(self, batch: List[_PendingRequest]) -> None:
+        # Transition each future to RUNNING; a False return means the caller
+        # cancelled while queued, and after a True return cancellation is no
+        # longer possible, so the set_result/set_exception below cannot race.
+        batch = [
+            request for request in batch if request.future.set_running_or_notify_cancel()
+        ]
+        if not batch:
+            return
+        try:
+            results = self.pipeline.link([request.mention for request in batch])
+        except BaseException as error:  # propagate failures to every caller
+            for request in batch:
+                request.future.set_exception(error)
+            return
+        completed_at = time.perf_counter()
+        stats = self.pipeline.stats
+        for request, result in zip(batch, results):
+            stats.record_latency(completed_at - request.submitted_at)
+            request.future.set_result(result)

@@ -67,7 +67,7 @@ class Tokenizer:
             tokens = [BOS_TOKEN] + tokens
         if add_eos:
             tokens = tokens + [EOS_TOKEN]
-        return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
+        return self._pad(self.vocabulary.encode_tokens(tokens), max_length, keep_eos=add_eos)
 
     def encode_batch(self, texts: Sequence[str], max_length: Optional[int] = None) -> np.ndarray:
         """Encode a batch of texts into a 2-D id matrix."""
@@ -162,9 +162,14 @@ class Tokenizer:
         return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
 
     def encode_target(self, text: str, max_length: Optional[int] = None) -> np.ndarray:
-        """Encode a decoder target: ``<bos> tokens <eos>`` padded."""
+        """Encode a decoder target: ``<bos> tokens <eos>`` padded.
+
+        The trailing ``<eos>`` survives truncation: a target longer than
+        ``max_length`` keeps its stop symbol in the final position, so the
+        seq2seq rewriter always sees a termination signal.
+        """
         tokens = [BOS_TOKEN] + self.tokenize(text) + [EOS_TOKEN]
-        return self._pad(self.vocabulary.encode_tokens(tokens), max_length)
+        return self._pad(self.vocabulary.encode_tokens(tokens), max_length, keep_eos=True)
 
     # ------------------------------------------------------------------
     # Vocabulary construction helper
@@ -185,11 +190,14 @@ class Tokenizer:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _pad(self, ids: List[int], max_length: Optional[int]) -> np.ndarray:
+    def _pad(self, ids: List[int], max_length: Optional[int], keep_eos: bool = False) -> np.ndarray:
         limit = self.max_length if max_length is None else max_length
+        truncated = len(ids) > limit
         ids = ids[:limit]
         padded = np.full(limit, self.vocabulary.pad_id, dtype=np.int64)
         padded[: len(ids)] = ids
+        if keep_eos and truncated:
+            padded[limit - 1] = self.vocabulary.eos_id
         return padded
 
     @property

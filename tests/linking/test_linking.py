@@ -236,3 +236,27 @@ class TestBlinkAndBaselines:
         linker = NameMatchingLinker(entities)
         assert linker.accuracy([]) == 0.0
         assert linker.coverage([]) == 0.0
+
+
+class TestEntityCacheEviction:
+    def test_overwrite_at_capacity_does_not_evict(self, monkeypatch):
+        # Regression: rewriting an existing key used to evict an unrelated
+        # (oldest) entry even though the cache was not growing.
+        from repro.linking import crossencoder
+
+        monkeypatch.setattr(crossencoder, "ENTITY_CACHE_CAPACITY", 2)
+        cache = {}
+        crossencoder._cache_put(cache, "a", 1)
+        crossencoder._cache_put(cache, "b", 2)
+        crossencoder._cache_put(cache, "a", 3)  # overwrite while full
+        assert cache == {"a": 3, "b": 2}
+
+    def test_new_key_at_capacity_evicts_oldest(self, monkeypatch):
+        from repro.linking import crossencoder
+
+        monkeypatch.setattr(crossencoder, "ENTITY_CACHE_CAPACITY", 2)
+        cache = {}
+        crossencoder._cache_put(cache, "a", 1)
+        crossencoder._cache_put(cache, "b", 2)
+        crossencoder._cache_put(cache, "c", 3)
+        assert cache == {"b": 2, "c": 3}

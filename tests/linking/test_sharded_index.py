@@ -188,6 +188,23 @@ class TestShardedEntityIndex:
         fan_out = index.search(queries[2:], k=2)[0]
         assert routed[2].entity_ids == fan_out.entity_ids
 
+    def test_routed_results_are_independent_instances(self):
+        # Regression: the pre-fill placeholder list was built as
+        # ``[RetrievalResult([], [])] * n`` — one shared mutable instance
+        # replicated n times.  Every returned result must be its own object.
+        index = self.build()
+        index.add_shard("void", [])
+        results = index.search_routed(np.zeros((3, 5)), k=2, routes=["void"] * 3)
+        assert all(result.entity_ids == [] for result in results)
+        assert len({id(result) for result in results}) == 3
+        results[0].entity_ids.append("mutated")
+        assert results[1].entity_ids == [] and results[2].entity_ids == []
+
+    def test_routed_search_alignment_validated(self):
+        index = self.build()
+        with pytest.raises(ValueError):
+            index.search_routed(np.eye(5)[:2], k=2, routes=["lego"])
+
     def test_routed_search_unknown_world_falls_back(self):
         index = self.build()
         routed = index.search_routed(np.eye(5)[:1], k=3, routes=["atlantis"])

@@ -156,6 +156,38 @@ class TestMetaTrainers:
         with pytest.raises(ValueError):
             trainer.fit(synthetic[:4], [])
 
+    def test_weighted_update_uses_reweighter_loss(self, meta_data, tiny_tokenizer, monkeypatch):
+        # Regression (Alg. 1 / Eq. 15): the weighted parameter update must be
+        # taken under the same fixed-negative loss the reweighter derived the
+        # weights for.  With a negative pool configured, nothing in fit() may
+        # fall back to the in-batch loss.
+        _, _, seed_pairs, synthetic, entities = meta_data
+        model = BiEncoder(BI_CFG, tiny_tokenizer)
+        trainer = MetaBiEncoderTrainer(model, BI_CFG, META_JVP, negative_entities=entities[:8])
+
+        in_batch_calls = []
+        fixed_negative_batches = []
+        original = BiEncoder.pairs_loss_with_negatives
+
+        def record_in_batch(self, pairs, reduction="mean"):
+            in_batch_calls.append(len(pairs))
+            raise AssertionError("fit() used the in-batch loss despite a negative pool")
+
+        def record_fixed(self, pairs, negatives, reduction="mean"):
+            fixed_negative_batches.append([pair.weight for pair in pairs])
+            return original(self, pairs, negatives, reduction=reduction)
+
+        monkeypatch.setattr(BiEncoder, "pairs_loss", record_in_batch)
+        monkeypatch.setattr(BiEncoder, "pairs_loss_with_negatives", record_fixed)
+        history = trainer.fit(synthetic[:16], seed_pairs, epochs=1, seed=0)
+        assert in_batch_calls == []
+        # The update path passes the *reweighted* batch through the same loss:
+        # at least one recorded batch carries non-uniform meta weights.
+        assert any(
+            any(weight != 1.0 for weight in weights) for weights in fixed_negative_batches
+        )
+        assert len(history.series("loss")) == 1
+
     def test_metablink_end_to_end(self, meta_data, tiny_tokenizer):
         domain, split, seed_pairs, synthetic, entities = meta_data
         trainer = MetaBlinkTrainer(tiny_tokenizer, BI_CFG, CX_CFG, META_JVP)

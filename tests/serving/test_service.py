@@ -1,0 +1,242 @@
+"""Tests for the dynamic-batching serving frontend (repro.serving.service)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import split_domain
+from repro.linking import BlinkPipeline
+from repro.serving import EntityLinkingPipeline, LinkingResult, LinkingService
+from repro.utils.config import BiEncoderConfig, CrossEncoderConfig, EncoderConfig
+
+ENC = EncoderConfig(model_dim=16, num_layers=1, num_heads=2, hidden_dim=32, max_length=32)
+BI_CFG = BiEncoderConfig(encoder=ENC, epochs=1, batch_size=8, learning_rate=5e-3)
+CX_CFG = CrossEncoderConfig(encoder=ENC, epochs=1, batch_size=4, num_candidates=3, learning_rate=5e-3)
+
+#: Generous wall-clock bound for waiting on futures; the tests only rely on
+#: *which* condition triggered the flush, never on tight timing.
+RESULT_TIMEOUT = 30.0
+
+
+@pytest.fixture(scope="module")
+def service_setup(tiny_corpus, tiny_tokenizer):
+    split = split_domain(tiny_corpus, "lego", seed_size=20, dev_size=10)
+    entities = tiny_corpus.entities("lego") + tiny_corpus.entities("yugioh")
+    blink = BlinkPipeline(tiny_tokenizer, BI_CFG, CX_CFG)
+    return blink, entities, split.test[:12]
+
+
+def make_pipeline(blink, entities, **kwargs):
+    index = blink.biencoder.build_sharded_index(entities)
+    return EntityLinkingPipeline(
+        blink.biencoder, index, blink.crossencoder, k=4, batch_size=8, **kwargs
+    )
+
+
+class TestLinkingService:
+    def test_max_batch_flush(self, service_setup):
+        # With an effectively infinite wait, completion proves the flush was
+        # triggered by the queue reaching max_batch_size.
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+        with LinkingService(pipeline, max_batch_size=4, max_wait_ms=60_000.0) as service:
+            futures = [service.submit(mention) for mention in mentions[:4]]
+            results = [future.result(timeout=RESULT_TIMEOUT) for future in futures]
+        assert [r.mention_id for r in results] == [m.mention_id for m in mentions[:4]]
+        assert pipeline.stats.mentions == 4
+        assert pipeline.stats.batches == 1
+
+    def test_max_wait_flush(self, service_setup):
+        # Fewer requests than max_batch_size: only the max_wait_ms timer can
+        # flush, so completion proves the latency bound works.
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+        with LinkingService(pipeline, max_batch_size=64, max_wait_ms=20.0) as service:
+            futures = [service.submit(mention) for mention in mentions[:3]]
+            results = [future.result(timeout=RESULT_TIMEOUT) for future in futures]
+        assert all(isinstance(result, LinkingResult) for result in results)
+        assert pipeline.stats.mentions == 3
+
+    def test_results_match_batch_pipeline(self, service_setup):
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+        expected = pipeline.link(mentions)
+        with LinkingService(pipeline, max_batch_size=5, max_wait_ms=10.0) as service:
+            futures = [service.submit(mention) for mention in mentions]
+            results = [future.result(timeout=RESULT_TIMEOUT) for future in futures]
+        for got, want in zip(results, expected):
+            assert got.mention_id == want.mention_id
+            assert got.candidate_ids == want.candidate_ids
+            assert got.predicted_entity_id == want.predicted_entity_id
+
+    def test_ordering_under_concurrent_submitters(self, service_setup):
+        # Several threads trickling in requests: every future must resolve to
+        # the result of exactly the mention that was submitted with it.
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+        collected = {}
+        errors = []
+
+        def submitter(worker_id, service, batch):
+            try:
+                futures = [(m, service.submit(m)) for m in batch]
+                collected[worker_id] = [
+                    (m.mention_id, f.result(timeout=RESULT_TIMEOUT).mention_id)
+                    for m, f in futures
+                ]
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        with LinkingService(pipeline, max_batch_size=4, max_wait_ms=5.0) as service:
+            threads = [
+                threading.Thread(target=submitter, args=(i, service, mentions[i::3]))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=RESULT_TIMEOUT)
+        assert not errors
+        assert len(collected) == 3
+        for pairs in collected.values():
+            for submitted_id, result_id in pairs:
+                assert submitted_id == result_id
+
+    def test_close_drains_pending_requests(self, service_setup):
+        # Requests queued behind an infinite wait are still completed by the
+        # graceful shutdown drain.
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+        service = LinkingService(pipeline, max_batch_size=64, max_wait_ms=60_000.0)
+        futures = [service.submit(mention) for mention in mentions[:5]]
+        service.close(timeout=RESULT_TIMEOUT)
+        assert not service.running
+        for mention, future in zip(mentions[:5], futures):
+            assert future.result(timeout=0).mention_id == mention.mention_id
+
+    def test_submit_after_close_raises(self, service_setup):
+        blink, entities, mentions = service_setup
+        service = LinkingService(make_pipeline(blink, entities))
+        service.close(timeout=RESULT_TIMEOUT)
+        with pytest.raises(RuntimeError):
+            service.submit(mentions[0])
+        with pytest.raises(RuntimeError):
+            service.start()
+
+    def test_submit_before_start_raises(self, service_setup):
+        blink, entities, mentions = service_setup
+        service = LinkingService(make_pipeline(blink, entities), start=False)
+        with pytest.raises(RuntimeError):
+            service.submit(mentions[0])
+        service.close()
+
+    def test_link_blocking_wrapper(self, service_setup):
+        blink, entities, mentions = service_setup
+        with LinkingService(make_pipeline(blink, entities), max_wait_ms=2.0) as service:
+            result = service.link(mentions[0], timeout=RESULT_TIMEOUT)
+        assert result.mention_id == mentions[0].mention_id
+
+    def test_pipeline_errors_propagate_to_futures(self, service_setup, monkeypatch):
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+
+        def boom(mentions):
+            raise RuntimeError("index unavailable")
+
+        monkeypatch.setattr(pipeline, "link", boom)
+        with LinkingService(pipeline, max_batch_size=2, max_wait_ms=5.0) as service:
+            future = service.submit(mentions[0])
+            with pytest.raises(RuntimeError, match="index unavailable"):
+                future.result(timeout=RESULT_TIMEOUT)
+
+    def test_latency_percentiles_recorded(self, service_setup):
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+        with LinkingService(pipeline, max_batch_size=4, max_wait_ms=5.0) as service:
+            futures = [service.submit(mention) for mention in mentions[:8]]
+            for future in futures:
+                future.result(timeout=RESULT_TIMEOUT)
+        summary = pipeline.stats.latency_summary()
+        assert summary["count"] == 8
+        assert 0 < summary["p50"] <= summary["p90"] <= summary["p99"]
+        assert pipeline.stats.latency_percentile(100.0) >= summary["p99"]
+        with pytest.raises(ValueError):
+            pipeline.stats.latency_percentile(101.0)
+        pipeline.stats.reset()
+        assert pipeline.stats.latency_summary()["count"] == 0
+
+    def test_warm_up_materialises_selected_shards(self, service_setup):
+        blink, entities, _ = service_setup
+        pipeline = make_pipeline(blink, entities)
+        with LinkingService(pipeline) as service:
+            index = pipeline.index
+            assert not index.is_materialized("lego")
+            assert service.warm_up(["lego"]) == ["lego"]
+            assert index.is_materialized("lego")
+            assert not index.is_materialized("yugioh")
+            assert service.warm_up() == index.worlds()
+            assert all(index.is_materialized(world) for world in index.worlds())
+
+    def test_warm_up_flat_index_is_noop(self, service_setup):
+        blink, entities, _ = service_setup
+        flat = blink.biencoder.build_index(entities)
+        pipeline = EntityLinkingPipeline(blink.biencoder, flat, blink.crossencoder, k=4)
+        with LinkingService(pipeline) as service:
+            assert service.warm_up() == []
+
+    def test_invalid_parameters_rejected(self, service_setup):
+        blink, entities, _ = service_setup
+        pipeline = make_pipeline(blink, entities)
+        with pytest.raises(ValueError):
+            LinkingService(pipeline, max_batch_size=0)
+        with pytest.raises(ValueError):
+            LinkingService(pipeline, max_wait_ms=-1.0)
+
+    def test_default_batch_size_follows_pipeline(self, service_setup):
+        blink, entities, _ = service_setup
+        pipeline = make_pipeline(blink, entities)
+        service = LinkingService(pipeline, start=False)
+        assert service.max_batch_size == pipeline.batch_size
+        service.close()
+
+    def test_start_is_idempotent(self, service_setup):
+        blink, entities, mentions = service_setup
+        service = LinkingService(make_pipeline(blink, entities), max_wait_ms=2.0)
+        service.start()  # no-op while running
+        assert service.running
+        assert service.link(mentions[0], timeout=RESULT_TIMEOUT) is not None
+        service.close(timeout=RESULT_TIMEOUT)
+        service.close()  # idempotent
+
+
+class TestServiceSnapshotIntegration:
+    def test_snapshot_round_trip_through_service(self, service_setup, tmp_path):
+        # Save the live index, reload it through the bi-encoder (which rebinds
+        # embed_fn), and serve from the restored index: predictions must be
+        # identical to the pre-save service.
+        blink, entities, mentions = service_setup
+        index = blink.biencoder.build_sharded_index(entities)
+        pipeline = EntityLinkingPipeline(
+            blink.biencoder, index, blink.crossencoder, k=4, batch_size=8
+        )
+        expected = pipeline.link(mentions)
+        index.save(tmp_path / "snapshot")
+
+        restored = blink.biencoder.load_sharded_index(tmp_path / "snapshot")
+        restored_pipeline = EntityLinkingPipeline(
+            blink.biencoder, restored, blink.crossencoder, k=4, batch_size=8
+        )
+        with LinkingService(restored_pipeline, max_batch_size=4, max_wait_ms=5.0) as service:
+            results = [
+                service.submit(mention).result(timeout=RESULT_TIMEOUT)
+                for mention in mentions
+            ]
+        for got, want in zip(results, expected):
+            assert got.candidate_ids == want.candidate_ids
+            # Rankings are identical; raw scores may differ by ~1 ulp because
+            # BLAS results depend on buffer alignment after reload.
+            assert np.allclose(got.retrieval_scores, want.retrieval_scores,
+                               rtol=0.0, atol=1e-12)
+            assert got.predicted_entity_id == want.predicted_entity_id

@@ -123,6 +123,30 @@ class TestTokenizer:
         tokens = [tokenizer.vocabulary.id_to_token(i) for i in ids if i != tokenizer.pad_id]
         assert tokens[0] == BOS_TOKEN and tokens[-1] == "<eos>"
 
+    def test_encode_target_preserves_eos_under_truncation(self, tokenizer):
+        # Regression: a target longer than max_length used to lose its stop
+        # symbol, so the seq2seq rewriter never saw a termination signal.
+        ids = tokenizer.encode_target("the golden master fought the crew " * 10, max_length=8)
+        assert ids.shape == (8,)
+        assert ids[0] == tokenizer.vocabulary.bos_id
+        assert ids[-1] == tokenizer.vocabulary.eos_id
+        assert tokenizer.pad_id not in ids  # fully occupied, no padding
+
+    def test_encode_target_short_sequence_unchanged(self, tokenizer):
+        ids = tokenizer.encode_target("the crew", max_length=8)
+        non_pad = [i for i in ids if i != tokenizer.pad_id]
+        assert non_pad[0] == tokenizer.vocabulary.bos_id
+        assert non_pad[-1] == tokenizer.vocabulary.eos_id
+        assert len(non_pad) == 4  # <bos> the crew <eos>
+
+    def test_encode_add_eos_preserves_eos_under_truncation(self, tokenizer):
+        ids = tokenizer.encode("the golden master " * 10, max_length=6, add_eos=True)
+        assert ids[-1] == tokenizer.vocabulary.eos_id
+
+    def test_encode_without_eos_truncates_plainly(self, tokenizer):
+        ids = tokenizer.encode("the golden master " * 10, max_length=6)
+        assert ids[-1] != tokenizer.vocabulary.eos_id
+
     def test_min_length_guard(self):
         with pytest.raises(ValueError):
             Tokenizer(Vocabulary(), max_length=2)
