@@ -1,0 +1,137 @@
+"""Decode throughput: KV-cached incremental engine vs the naive loop.
+
+Measures generated tokens/second of :meth:`Seq2SeqModel.greedy_decode` (one
+prefill + single-token steps over a :class:`~repro.nn.DecoderState`) against
+:meth:`Seq2SeqModel.greedy_decode_naive` (full re-forward over the growing
+prefix each step — the seed repo's original hot path), in both the float64
+default and the ``compute_dtype("float32")`` inference path.
+
+End-of-sequence is blocked for the whole decode (``min_length ==
+max_target_length``) so every configuration generates exactly ``batch x
+max_target_length`` tokens and the timings compare equal work.  Runs are
+interleaved best-of-:data:`REPEATS` so CPU noise bursts hit all
+configurations alike.  Machine-readable results land in ``BENCH_decode.json``
+at the repo root, alongside ``BENCH_serving.json``.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_decode_throughput.py -q -s
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.generation import Seq2SeqModel
+from repro.nn import compute_dtype
+from repro.utils.config import RewriterConfig
+
+BATCH = 12
+MAX_TARGET_LENGTH = 40  # >= 32 per the acceptance criterion
+REPEATS = 3
+MIN_CACHED_SPEEDUP = 3.0
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_decode.json"
+
+
+def _build_decode_inputs():
+    """A mention-rewriter-shaped model and a batch of mixed-length sources."""
+    config = RewriterConfig(
+        vocab_size=1024,
+        model_dim=96,
+        num_layers=2,
+        num_heads=4,
+        hidden_dim=192,
+        max_source_length=48,
+        max_target_length=MAX_TARGET_LENGTH,
+    )
+    model = Seq2SeqModel(config, pad_id=0, bos_id=1, eos_id=2)
+    rng = np.random.default_rng(17)
+    sources = rng.integers(3, config.vocab_size, size=(BATCH, config.max_source_length))
+    for row in range(BATCH):  # mixed real lengths, trailing padding
+        sources[row, 24 + 2 * row:] = 0
+    return model, sources
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def test_decode_throughput_kv_cache_beats_naive_loop():
+    model, sources = _build_decode_inputs()
+    tokens_per_run = BATCH * MAX_TARGET_LENGTH
+    # min_length == max_length keeps eos blocked: full-length generation,
+    # identical token counts in every configuration.
+    decode_kwargs = dict(max_length=MAX_TARGET_LENGTH, min_length=MAX_TARGET_LENGTH)
+
+    def in_dtype(fn, dtype):
+        if dtype == "float64":
+            return fn()
+        with compute_dtype(dtype):
+            return fn()
+
+    runners = {
+        f"{engine} {dtype}": (
+            lambda engine=engine, dtype=dtype: in_dtype(
+                lambda: getattr(model, engine_attr[engine])(sources, **decode_kwargs), dtype
+            )
+        )
+        for engine_attr in [{"naive": "greedy_decode_naive", "kv-cached": "greedy_decode"}]
+        for engine in engine_attr
+        for dtype in ("float64", "float32")
+    }
+
+    # Warm-up: first-call allocations, cast caches, memoized causal biases.
+    outputs = {label: runner() for label, runner in runners.items()}
+    assert outputs["kv-cached float64"] == outputs["naive float64"], (
+        "KV-cached decode diverged from the naive reference"
+    )
+    assert all(len(row) == MAX_TARGET_LENGTH for row in outputs["kv-cached float64"])
+
+    best = {label: float("inf") for label in runners}
+    for _ in range(REPEATS):
+        for label, runner in runners.items():
+            best[label] = min(best[label], _timed(runner))
+    throughput = {label: tokens_per_run / seconds for label, seconds in best.items()}
+
+    baseline = throughput["naive float64"]
+    print()
+    print(
+        f"greedy decode over batch={BATCH}, max_target_length={MAX_TARGET_LENGTH}, "
+        f"model_dim=96, 2 layers, vocab=1024"
+    )
+    for label, value in throughput.items():
+        print(f"  {label:>18}: {value:8.1f} tokens/s  ({value / baseline:4.1f}x naive float64)")
+
+    speedup = throughput["kv-cached float64"] / baseline
+    BENCH_OUTPUT.write_text(json.dumps({
+        "benchmark": "decode_throughput",
+        "config": {
+            "batch": BATCH,
+            "max_target_length": MAX_TARGET_LENGTH,
+            "model_dim": 96,
+            "num_layers": 2,
+            "vocab_size": 1024,
+            "repeats": REPEATS,
+        },
+        "tokens_per_second": {
+            "naive_float64": round(throughput["naive float64"], 1),
+            "naive_float32": round(throughput["naive float32"], 1),
+            "kv_cached_float64": round(throughput["kv-cached float64"], 1),
+            "kv_cached_float32": round(throughput["kv-cached float32"], 1),
+        },
+        "kv_cached_vs_naive_float64": round(speedup, 2),
+        "float32_vs_float64_cached": round(
+            throughput["kv-cached float32"] / throughput["kv-cached float64"], 2
+        ),
+    }, indent=1) + "\n")
+    print(f"  wrote {BENCH_OUTPUT.name}")
+
+    assert speedup >= MIN_CACHED_SPEEDUP, (
+        f"KV-cached decode {throughput['kv-cached float64']:.1f} tokens/s is below "
+        f"{MIN_CACHED_SPEEDUP}x the naive loop {baseline:.1f} tokens/s"
+    )

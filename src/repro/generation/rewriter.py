@@ -26,6 +26,11 @@ from .seq2seq import Seq2SeqModel
 
 REWRITTEN_SOURCE = "rewritten"
 
+#: Length buckets round the real (non-pad) source length up to a multiple of
+#: this, so short descriptions are batched together and decoded over a
+#: trimmed id matrix instead of paying full ``max_source_length`` padding.
+LENGTH_BUCKET = 8
+
 _LOGGER = get_logger("rewriter")
 
 
@@ -174,9 +179,19 @@ class MentionRewriter:
     def rewrite_entities(
         self, entities: Sequence[Entity], constrain_to_source: bool = True
     ) -> List[str]:
-        """Generate replacement mentions for a batch of entities."""
+        """Generate replacement mentions for a batch of entities.
+
+        Inputs are bucketed by real (non-pad) source length and decoded one
+        bucket at a time over a trimmed id matrix, so short descriptions do
+        not pay long-description padding in the encoder or the per-step
+        cross-attention.  Per-entity allowed / boosted token sets ride along
+        as per-row constraints of the batched KV-cached decode.  Outputs are
+        returned in input order regardless of bucketing.
+        """
         if not self._trained:
             raise RuntimeError("rewriter must be fitted before rewriting")
+        if not entities:
+            return []
         vocabulary = self.tokenizer.vocabulary
         sources = np.stack(
             [
@@ -192,30 +207,41 @@ class MentionRewriter:
             for token in ("the", "of", "a", "in", "and")
             if vocabulary.token_to_id(token) != vocabulary.unk_id
         }
-        outputs: List[str] = []
-        for row, entity in zip(sources, entities):
-            source_tokens = set(int(t) for t in row if t != vocabulary.pad_id)
+
+        lengths = (sources != vocabulary.pad_id).sum(axis=1)
+        bucket_lengths = np.minimum(
+            -(-np.maximum(lengths, 1) // LENGTH_BUCKET) * LENGTH_BUCKET,
+            self.config.max_source_length,
+        )
+        outputs: List[str] = [""] * len(entities)
+        for bucket_length in np.unique(bucket_lengths):
+            indices = np.flatnonzero(bucket_lengths == bucket_length)
+            rows = sources[indices, : int(bucket_length)]
+            source_token_sets = [
+                set(int(t) for t in row if t != vocabulary.pad_id) for row in rows
+            ]
             allowed = None
             if constrain_to_source:
-                allowed = sorted(source_tokens | function_word_ids)
+                allowed = [sorted(tokens | function_word_ids) for tokens in source_token_sets]
             # Content words of the description get a copy bonus so the tiny
             # generator produces entity-specific phrases instead of the most
             # frequent target tokens.
-            boosted = sorted(source_tokens - function_word_ids)
-            decoded = self.model.greedy_decode(
-                row[None, :],
+            boosted = [sorted(tokens - function_word_ids) for tokens in source_token_sets]
+            decoded_rows = self.model.greedy_decode(
+                rows,
                 allowed_token_ids=allowed,
                 banned_token_ids=banned,
                 boosted_token_ids=boosted,
                 boost=3.0,
                 min_length=2,
-            )[0]
-            text = " ".join(vocabulary.decode_ids(decoded)).strip()
-            if not text:
-                # Degenerate generations fall back to the entity title so the
-                # downstream pipeline always receives a usable surface form.
-                text = entity.title
-            outputs.append(text)
+            )
+            for position, decoded in zip(indices, decoded_rows):
+                text = " ".join(vocabulary.decode_ids(decoded)).strip()
+                if not text:
+                    # Degenerate generations fall back to the entity title so
+                    # the downstream pipeline always receives a usable surface.
+                    text = entities[position].title
+                outputs[position] = text
         return outputs
 
     def rewrite_pairs(

@@ -132,6 +132,13 @@ class CrossEncoder(Module):
         # per-row tokenisation cost into a one-time cost per entity.
         self._entity_suffix_cache: Dict[str, List[int]] = {}
         self._entity_feature_cache: Dict[str, Tuple[frozenset, frozenset, frozenset]] = {}
+        # Mention-side memo, keyed by the text the derived values depend on
+        # (mention ids are reused by rewritten surfaces, so the id alone is
+        # not a safe key).  Mentions recur across training epochs and across
+        # rerank calls, and without the memo the surface / context token sets
+        # were re-derived for every scoring call.
+        self._mention_prefix_cache: Dict[Tuple[str, str, str], List[int]] = {}
+        self._mention_feature_cache: Dict[Tuple[str, str, str], Tuple[frozenset, frozenset, str]] = {}
 
     # ------------------------------------------------------------------
     # Scoring
@@ -158,12 +165,41 @@ class CrossEncoder(Module):
             _cache_put(self._entity_suffix_cache, entity.entity_id, cached)
         return cached
 
+    @staticmethod
+    def _mention_key(mention: Mention) -> Tuple[str, str, str]:
+        return (mention.surface, mention.context_left, mention.context_right)
+
     def _mention_prefix_ids(self, mention: Mention) -> List[int]:
-        """Mention-in-context id prefix, computed once per mention (not per row)."""
-        tokens = self.tokenizer.mention_tokens(
-            mention.surface, mention.context_left, mention.context_right
-        )
-        return self.tokenizer.vocabulary.encode_tokens(tokens)
+        """Cached mention-in-context id prefix (one tokenisation per mention text)."""
+        key = self._mention_key(mention)
+        cached = self._mention_prefix_cache.get(key)
+        if cached is None:
+            tokens = self.tokenizer.mention_tokens(
+                mention.surface, mention.context_left, mention.context_right
+            )
+            cached = self.tokenizer.vocabulary.encode_tokens(tokens)
+            _cache_put(self._mention_prefix_cache, key, cached)
+        return cached
+
+    def _mention_feature_sets(self, mention: Mention) -> Tuple[frozenset, frozenset, str]:
+        """Cached mention-side inputs of the lexical features.
+
+        Returns ``(surface_tokens, context_tokens, normalized_surface)``; the
+        memo means reranking *n* candidates for a mention tokenises the
+        mention side once instead of once per (mention, candidate) pair, and
+        repeat mentions (training epochs, steady-state serving traffic) skip
+        the work entirely.
+        """
+        key = self._mention_key(mention)
+        cached = self._mention_feature_cache.get(key)
+        if cached is None:
+            cached = (
+                frozenset(simple_tokenize(mention.surface)),
+                frozenset(simple_tokenize(f"{mention.context_left} {mention.context_right}")),
+                normalize_text(mention.surface),
+            )
+            _cache_put(self._mention_feature_cache, key, cached)
+        return cached
 
     def _cross_input_ids(
         self,
@@ -216,11 +252,7 @@ class CrossEncoder(Module):
         if mention_sets is not None:
             surface_tokens, context_tokens, normalized_surface = mention_sets
         else:
-            surface_tokens = frozenset(simple_tokenize(mention.surface))
-            context_tokens = frozenset(
-                simple_tokenize(f"{mention.context_left} {mention.context_right}")
-            )
-            normalized_surface = normalize_text(mention.surface)
+            surface_tokens, context_tokens, normalized_surface = self._mention_feature_sets(mention)
         features = np.empty((len(candidates), NUM_LEXICAL_FEATURES), dtype=np.float64)
         for position, candidate in enumerate(candidates):
             title_tokens, description_tokens, title_forms = self._entity_feature_sets(candidate)

@@ -7,14 +7,16 @@ stacks, optimisers and checkpointing.  Every model in ``repro.linking``,
 """
 
 from . import functional
-from .attention import MultiHeadAttention
+from .attention import KVCache, MultiHeadAttention
 from .layers import Dropout, Embedding, FeedForward, LayerNorm, Linear
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, LinearWarmupSchedule, Optimizer, clip_grad_norm
 from .serialization import load_checkpoint, save_checkpoint
 from .tensor import (
     Tensor,
+    compute_dtype,
     concatenate,
+    get_compute_dtype,
     no_grad,
     ones,
     ones_like,
@@ -24,6 +26,7 @@ from .tensor import (
     zeros_like,
 )
 from .transformer import (
+    DecoderState,
     PositionalEmbedding,
     TransformerDecoder,
     TransformerDecoderLayer,
@@ -42,6 +45,8 @@ __all__ = [
     "concatenate",
     "stack_tensors",
     "no_grad",
+    "compute_dtype",
+    "get_compute_dtype",
     "Module",
     "ModuleList",
     "Sequential",
@@ -52,10 +57,12 @@ __all__ = [
     "Dropout",
     "FeedForward",
     "MultiHeadAttention",
+    "KVCache",
     "TransformerEncoder",
     "TransformerEncoderLayer",
     "TransformerDecoder",
     "TransformerDecoderLayer",
+    "DecoderState",
     "PositionalEmbedding",
     "Optimizer",
     "SGD",

@@ -12,7 +12,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from .tensor import Tensor, is_grad_enabled
+from .tensor import Tensor, active_compute_dtype, is_grad_enabled
 
 __all__ = [
     "relu",
@@ -117,9 +117,15 @@ def cross_entropy(
 
 
 def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
-    """Gather rows of ``weight`` according to integer ``indices``."""
+    """Gather rows of ``weight`` according to integer ``indices``.
+
+    Under an active inference compute dtype the gather reads a cached cast
+    of the table, so the rows enter the forward already in that dtype.
+    """
     indices = np.asarray(indices, dtype=np.int64)
-    out_data = weight.data[indices]
+    dtype = active_compute_dtype()
+    table = weight.cast(dtype) if dtype is not None else weight.data
+    out_data = table[indices]
 
     def backward(grad: np.ndarray) -> None:
         if weight.requires_grad:

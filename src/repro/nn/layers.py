@@ -9,7 +9,7 @@ import numpy as np
 from . import functional as F
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, active_compute_dtype
 
 
 class Linear(Module):
@@ -30,9 +30,17 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x.matmul(self.weight.T)
+        dtype = active_compute_dtype()
+        if dtype is None:
+            out = x.matmul(self.weight.T)
+            if self.bias is not None:
+                out = out + self.bias
+            return out
+        # Inference compute-dtype path: feed cached low-precision casts of
+        # the parameters so the matmul runs (and stays) in that dtype.
+        out = x.matmul(Tensor(self.weight.cast(dtype)).T)
         if self.bias is not None:
-            out = out + self.bias
+            out = out + Tensor(self.bias.cast(dtype))
         return out
 
     def __repr__(self) -> str:
@@ -83,7 +91,13 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((normalized_shape,)), name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
-        return x.standardize(self.eps) * self.weight + self.bias
+        dtype = active_compute_dtype()
+        if dtype is None:
+            return x.standardize(self.eps) * self.weight + self.bias
+        return (
+            x.standardize(self.eps) * Tensor(self.weight.cast(dtype))
+            + Tensor(self.bias.cast(dtype))
+        )
 
     def __repr__(self) -> str:
         return f"LayerNorm(dim={self.normalized_shape})"

@@ -15,6 +15,7 @@ activations live in :mod:`repro.nn.functional`).
 from __future__ import annotations
 
 import math
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -22,6 +23,14 @@ import numpy as np
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _grad_enabled = True
+
+#: Requested inference compute dtype, or None for the native float64 path.
+#: Thread-local so a ``compute_dtype`` block on one thread (e.g. a caller of
+#: LinkingService) cannot flip the precision of a forward running
+#: concurrently on another thread mid-pass.  Only consulted when gradients
+#: are disabled, so training always runs in full precision regardless of any
+#: surrounding ``compute_dtype`` block.
+_compute_dtype_state = threading.local()
 
 
 class no_grad:
@@ -47,6 +56,49 @@ def is_grad_enabled() -> bool:
     return _grad_enabled
 
 
+class compute_dtype:
+    """Context manager selecting the inference compute dtype.
+
+    Inside ``with compute_dtype("float32")``, ``no_grad`` forward passes run
+    end-to-end in float32: layers feed cached float32 casts of their
+    parameters into the graph-free ops and every freshly-created tensor
+    (biases, scalars, masks) adopts the same dtype, halving memory bandwidth
+    on serving paths.  Gradient-tracked code is unaffected — training keeps
+    the float64 default — and blocks nest/restore like ``no_grad``.
+    """
+
+    def __init__(self, dtype: Optional[Union[str, np.dtype]]) -> None:
+        self._dtype = None if dtype is None else np.dtype(dtype)
+        if self._dtype is not None and self._dtype.kind != "f":
+            raise ValueError(f"compute dtype must be floating point, got {self._dtype}")
+
+    def __enter__(self) -> "compute_dtype":
+        self._previous = getattr(_compute_dtype_state, "value", None)
+        _compute_dtype_state.value = self._dtype
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        _compute_dtype_state.value = self._previous
+
+
+def get_compute_dtype() -> Optional[np.dtype]:
+    """Return this thread's requested compute dtype (None = float64 default)."""
+    return getattr(_compute_dtype_state, "value", None)
+
+
+def active_compute_dtype() -> Optional[np.dtype]:
+    """The cast dtype for the *current* op, or None when no cast applies.
+
+    Non-None only when a ``compute_dtype`` block is active on this thread
+    **and** gradients are disabled: the reduced-precision path is
+    inference-only.
+    """
+    dtype = getattr(_compute_dtype_state, "value", None)
+    if _grad_enabled or dtype is None or dtype == np.float64:
+        return None
+    return dtype
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
     if grad.shape == shape:
@@ -63,11 +115,16 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
+    dtype = active_compute_dtype()
     if isinstance(value, np.ndarray):
-        if value.dtype.kind in "fc":
+        if value.dtype.kind == "f":
+            if dtype is not None and value.dtype != dtype:
+                return value.astype(dtype)
             return value
-        return value.astype(np.float64)
-    return np.asarray(value, dtype=np.float64)
+        if value.dtype.kind == "c":
+            return value
+        return value.astype(dtype if dtype is not None else np.float64)
+    return np.asarray(value, dtype=dtype if dtype is not None else np.float64)
 
 
 class Tensor:
@@ -82,7 +139,7 @@ class Tensor:
         Whether gradients should be accumulated for this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_cast_cache")
 
     def __init__(
         self,
@@ -98,6 +155,7 @@ class Tensor:
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
+        self._cast_cache: Optional[Tuple[np.ndarray, np.dtype, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Basic protocol
@@ -136,6 +194,24 @@ class Tensor:
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but outside the graph."""
         return Tensor(self.data, requires_grad=False)
+
+    def cast(self, dtype: Union[str, np.dtype]) -> np.ndarray:
+        """Return ``data`` as ``dtype``, memoising one cast per payload.
+
+        The cache is keyed on the identity of ``data``: optimisers and
+        ``load_state_dict`` replace the payload array rather than mutating it
+        in place, so a stale cast is never served.  This is what lets layers
+        feed float32 copies of their float64 parameters into every inference
+        forward without re-casting per call.
+        """
+        dtype = np.dtype(dtype)
+        if self.data.dtype == dtype:
+            return self.data
+        cached = self._cast_cache
+        if cached is None or cached[0] is not self.data or cached[1] != dtype:
+            cached = (self.data, dtype, self.data.astype(dtype))
+            self._cast_cache = cached
+        return cached[2]
 
     def copy(self) -> "Tensor":
         """Return a tensor with a copied payload, outside the graph."""

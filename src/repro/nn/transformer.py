@@ -7,20 +7,30 @@ rewriter (see DESIGN.md, substitutions table).
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
 from . import functional as F
 from . import init
-from .attention import MultiHeadAttention
+from .attention import KVCache, MultiHeadAttention
 from .layers import Dropout, Embedding, FeedForward, LayerNorm, Linear
 from .module import Module, ModuleList, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, active_compute_dtype, is_grad_enabled
 
 
 class PositionalEmbedding(Module):
-    """Learned absolute positional embeddings."""
+    """Learned absolute positional embeddings.
+
+    ``forward(length, offset)`` returns the rows for positions
+    ``[offset, offset + length)`` — the offset is how incremental decoding
+    addresses the position of a single new token.  Inference forwards slice
+    the weight table directly (no index array, no gather copy); the
+    gradient-tracked path keeps the :func:`repro.nn.functional.embedding`
+    gather with a cached position-id table instead of rebuilding
+    ``np.arange`` on every layer-stack invocation.
+    """
 
     def __init__(
         self,
@@ -32,11 +42,20 @@ class PositionalEmbedding(Module):
         rng = rng if rng is not None else np.random.default_rng(0)
         self.max_length = max_length
         self.weight = Parameter(init.normal((max_length, model_dim), rng, std=0.02), name="weight")
+        self._position_ids = np.arange(max_length, dtype=np.int64)
 
-    def forward(self, length: int) -> Tensor:
-        if length > self.max_length:
-            raise ValueError(f"sequence length {length} exceeds max_length {self.max_length}")
-        return F.embedding(self.weight, np.arange(length))
+    def forward(self, length: int, offset: int = 0) -> Tensor:
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        if offset + length > self.max_length:
+            raise ValueError(
+                f"positions [{offset}, {offset + length}) exceed max_length {self.max_length}"
+            )
+        if not (is_grad_enabled() and self.weight.requires_grad):
+            dtype = active_compute_dtype()
+            table = self.weight.cast(dtype) if dtype is not None else self.weight.data
+            return Tensor(table[offset:offset + length])
+        return F.embedding(self.weight, self._position_ids[offset:offset + length])
 
 
 class TransformerEncoderLayer(Module):
@@ -118,10 +137,58 @@ class TransformerEncoder(Module):
         if token_ids.ndim == 1:
             token_ids = token_ids[None, :]
         hidden = self.forward(token_ids)
-        keep = (token_ids != self.padding_idx).astype(np.float64)
+        keep = (token_ids != self.padding_idx).astype(hidden.data.dtype)
         denom = np.maximum(keep.sum(axis=1, keepdims=True), 1.0)
         weights = Tensor(keep[:, :, None] / denom[:, :, None])
         return (hidden * weights).sum(axis=1)
+
+
+@dataclass
+class LayerDecoderState:
+    """Per-layer incremental state: self-attention K/V cache plus the
+    cross-attention K/V projected once from the encoder memory."""
+
+    self_cache: KVCache
+    cross_k: np.ndarray
+    cross_v: np.ndarray
+
+    def select_rows(self, indices: np.ndarray) -> None:
+        self.self_cache.select_rows(indices)
+        self.cross_k = self.cross_k[indices]
+        self.cross_v = self.cross_v[indices]
+
+
+@dataclass
+class DecoderState:
+    """Incremental decoding state threaded through a :class:`TransformerDecoder`.
+
+    Create one with :meth:`TransformerDecoder.init_state`, then feed token
+    chunks to :meth:`TransformerDecoder.forward_step` — a multi-token prefill
+    first, single-token steps after.  ``length`` is the number of tokens
+    already consumed (the positional offset of the next chunk).
+    ``memory_bias`` is the additive cross-attention padding bias shared by
+    all layers.  :meth:`select_rows` drops finished sequences from every
+    buffer so later steps only pay for still-active rows.
+    """
+
+    layers: List[LayerDecoderState]
+    memory_bias: Optional[np.ndarray]
+    length: int = 0
+
+    @property
+    def batch(self) -> int:
+        return self.layers[0].self_cache.batch
+
+    @property
+    def max_length(self) -> int:
+        return self.layers[0].self_cache.max_length
+
+    def select_rows(self, indices: np.ndarray) -> None:
+        """Keep only the given batch rows (boolean or integer index array)."""
+        for layer in self.layers:
+            layer.select_rows(indices)
+        if self.memory_bias is not None:
+            self.memory_bias = self.memory_bias[indices]
 
 
 class TransformerDecoderLayer(Module):
@@ -155,6 +222,33 @@ class TransformerDecoderLayer(Module):
         x = x + self.dropout(attended)
         crossed = self.cross_attention(
             self.norm_cross(x), key=memory, value=memory, key_padding_mask=memory_padding_mask
+        )
+        x = x + self.dropout(crossed)
+        x = x + self.feed_forward(self.norm_feed_forward(x))
+        return x
+
+    def init_state(
+        self, memory: Tensor, max_length: int, dtype: np.dtype
+    ) -> LayerDecoderState:
+        """Allocate this layer's K/V cache and project the memory K/V once."""
+        cross_k, cross_v = self.cross_attention.project_memory(memory)
+        return LayerDecoderState(
+            self_cache=self.self_attention.init_cache(memory.shape[0], max_length, dtype=dtype),
+            cross_k=cross_k,
+            cross_v=cross_v,
+        )
+
+    def forward_step(
+        self,
+        x: Tensor,
+        state: LayerDecoderState,
+        memory_bias: Optional[np.ndarray],
+    ) -> Tensor:
+        """One incremental chunk: new tokens only, prefix read from ``state``."""
+        attended = self.self_attention.forward_step(self.norm_self(x), state.self_cache)
+        x = x + self.dropout(attended)
+        crossed = self.cross_attention.forward_cross(
+            self.norm_cross(x), state.cross_k, state.cross_v, memory_bias
         )
         x = x + self.dropout(crossed)
         x = x + self.feed_forward(self.norm_feed_forward(x))
@@ -205,5 +299,56 @@ class TransformerDecoder(Module):
         hidden = self.dropout(hidden)
         for layer in self.layers:
             hidden = layer(hidden, memory, memory_padding_mask=memory_padding_mask)
+        hidden = self.final_norm(hidden)
+        return self.output_proj(hidden)
+
+    # ------------------------------------------------------------------
+    # Incremental decoding
+    # ------------------------------------------------------------------
+    def init_state(
+        self,
+        memory: Tensor,
+        memory_padding_mask: Optional[np.ndarray] = None,
+        max_length: Optional[int] = None,
+    ) -> DecoderState:
+        """Prepare an incremental :class:`DecoderState` for ``memory``.
+
+        Projects every layer's cross-attention K/V from the encoder output
+        once, builds the shared memory padding bias, and preallocates the
+        self-attention caches for up to ``max_length`` tokens (defaults to
+        the positional-embedding capacity).
+        """
+        if max_length is None:
+            max_length = self.position_embedding.max_length
+        max_length = min(max_length, self.position_embedding.max_length)
+        dtype = memory.data.dtype
+        memory_bias = None
+        if memory_padding_mask is not None:
+            memory_bias = MultiHeadAttention.padding_bias(memory_padding_mask, dtype=dtype)
+        return DecoderState(
+            layers=[layer.init_state(memory, max_length, dtype) for layer in self.layers],
+            memory_bias=memory_bias,
+        )
+
+    def forward_step(self, token_ids: np.ndarray, state: DecoderState) -> Tensor:
+        """Logits for a chunk of new tokens, advancing ``state`` in place.
+
+        ``token_ids`` is ``(batch, new_tokens)`` — the prefill chunk on the
+        first call, a single column on subsequent steps.  Positions are
+        offset by the tokens already consumed; the causal bias for the
+        1-token case is unnecessary (the query attends to a strictly-past
+        cache) and is handled inside the attention step for prefill chunks.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim == 1:
+            token_ids = token_ids[None, :]
+        new_tokens = token_ids.shape[1]
+        hidden = self.token_embedding(token_ids) + self.position_embedding(
+            new_tokens, offset=state.length
+        )
+        hidden = self.dropout(hidden)
+        for layer, layer_state in zip(self.layers, state.layers):
+            hidden = layer.forward_step(hidden, layer_state, state.memory_bias)
+        state.length += new_tokens
         hidden = self.final_norm(hidden)
         return self.output_proj(hidden)
