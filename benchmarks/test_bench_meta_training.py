@@ -1,0 +1,155 @@
+"""Meta-reweighting throughput: batched/JVP probes vs the exact per-example loop.
+
+Measures reweighted synthetic examples/second of
+:class:`~repro.meta.reweight.ExampleReweighter` at meta-batch
+:data:`META_BATCH` over a bi-encoder stage task:
+
+* **exact loop** — the seed repo's original path: one full forward + backward
+  per synthetic example (``loss_fn([pair])``), re-encoding the fixed negative
+  pool every time;
+* **blocked exact** — the vectorized exact path: one shared batched forward
+  per probe block, per-example gradients via one-hot-seeded backwards on the
+  shared graph (identical dots to machine precision);
+* **batched JVP** — two graph-free batched forwards along the unit seed
+  direction (first-order-exact dots).
+
+The acceptance gate asserts the batched/JVP path sustains at least
+:data:`MIN_JVP_SPEEDUP`× the exact loop.  Runs are interleaved
+best-of-:data:`REPEATS` so CPU noise bursts hit all configurations alike.
+Machine-readable results land in ``BENCH_meta.json`` at the repo root,
+alongside ``BENCH_serving.json`` and ``BENCH_decode.json``.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_meta_training.py -q -s
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import generate_corpus, pairs_from_mentions, split_domain
+from repro.generation import build_exact_match_data, build_tokenizer_for_corpus
+from repro.linking import BiEncoder
+from repro.meta import ExampleReweighter, few_shot_seed
+from repro.training import BiEncoderMetaTask
+from repro.utils.config import BiEncoderConfig, CorpusConfig, EncoderConfig, MetaConfig
+
+META_BATCH = 32  # per the acceptance criterion
+SEED_BATCH = 16
+NUM_NEGATIVES = 16
+REPEATS = 3
+MIN_JVP_SPEEDUP = 3.0
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_meta.json"
+
+
+def _build_reweighter():
+    """A serving-sized bi-encoder stage with a fixed negative pool."""
+    corpus = generate_corpus(
+        CorpusConfig(entities_per_domain=40, mentions_per_domain=140, seed=11)
+    )
+    tokenizer = build_tokenizer_for_corpus(corpus, max_vocab_size=2048, max_length=48)
+    encoder = EncoderConfig(model_dim=48, num_layers=1, num_heads=4, hidden_dim=96, max_length=48)
+    model = BiEncoder(BiEncoderConfig(encoder=encoder), tokenizer)
+
+    domain = "yugioh"
+    split = split_domain(corpus, domain, seed_size=20, dev_size=10)
+    seed_pairs = few_shot_seed(
+        pairs_from_mentions(corpus, domain, split.train, source="seed")
+    )[:SEED_BATCH]
+    synthetic = build_exact_match_data(corpus, domain, per_entity=2)[:META_BATCH]
+    assert len(synthetic) == META_BATCH
+
+    task = BiEncoderMetaTask(model, corpus.entities(domain)[:NUM_NEGATIVES])
+    reweighter = ExampleReweighter(model, task, MetaConfig())
+    return model, task, reweighter, synthetic, seed_pairs
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def test_meta_reweighting_batched_jvp_beats_exact_loop():
+    model, task, reweighter, synthetic, seed_pairs = _build_reweighter()
+    model.train()  # training mode, as in the real Alg. 1 loop
+    seed_gradient = reweighter.seed_gradient(seed_pairs)
+
+    def exact_loop():
+        """The seed repo's original hot path: n single-example backwards."""
+        dots = np.zeros(len(synthetic))
+        model.eval()
+        for index, pair in enumerate(synthetic):
+            model.zero_grad()
+            task([pair], reduction="sum").backward()
+            dots[index] = float(model.gradient_vector() @ seed_gradient)
+        model.zero_grad()
+        model.train()
+        return dots
+
+    def blocked_exact():
+        return reweighter.per_example_gradient_dots(synthetic, seed_gradient)
+
+    def batched_jvp():
+        return reweighter.jvp_gradient_dots(synthetic, seed_gradient)
+
+    runners = {
+        "exact loop": exact_loop,
+        "blocked exact": blocked_exact,
+        "batched jvp": batched_jvp,
+    }
+
+    # Warm-up (first-call allocations, tokenizer caches) + correctness guard:
+    # the vectorized exact path must reproduce the loop to machine precision
+    # and the JVP must agree to first order.
+    outputs = {label: runner() for label, runner in runners.items()}
+    assert np.allclose(outputs["blocked exact"], outputs["exact loop"], rtol=1e-9, atol=1e-9)
+    scale = np.abs(outputs["exact loop"]).max()
+    assert np.abs(outputs["batched jvp"] - outputs["exact loop"]).max() <= 0.1 * scale
+
+    best = {label: float("inf") for label in runners}
+    for _ in range(REPEATS):
+        for label, runner in runners.items():
+            best[label] = min(best[label], _timed(runner))
+    throughput = {label: META_BATCH / seconds for label, seconds in best.items()}
+
+    baseline = throughput["exact loop"]
+    print()
+    print(
+        f"meta-reweighting over meta_batch={META_BATCH}, seed_batch={SEED_BATCH}, "
+        f"negatives={NUM_NEGATIVES}, model_dim=48, 1 layer"
+    )
+    for label, value in throughput.items():
+        print(f"  {label:>14}: {value:8.1f} examples/s  ({value / baseline:5.1f}x exact loop)")
+
+    jvp_speedup = throughput["batched jvp"] / baseline
+    BENCH_OUTPUT.write_text(json.dumps({
+        "benchmark": "meta_reweighting_throughput",
+        "config": {
+            "meta_batch": META_BATCH,
+            "seed_batch": SEED_BATCH,
+            "num_negatives": NUM_NEGATIVES,
+            "model_dim": 48,
+            "num_layers": 1,
+            "probe_block_size": reweighter.config.probe_block_size,
+            "jvp_epsilon": reweighter.config.jvp_epsilon,
+            "repeats": REPEATS,
+        },
+        "examples_per_second": {
+            "exact_loop": round(throughput["exact loop"], 1),
+            "blocked_exact": round(throughput["blocked exact"], 1),
+            "batched_jvp": round(throughput["batched jvp"], 1),
+        },
+        "blocked_exact_vs_exact_loop": round(throughput["blocked exact"] / baseline, 2),
+        "batched_jvp_vs_exact_loop": round(jvp_speedup, 2),
+    }, indent=1) + "\n")
+    print(f"  wrote {BENCH_OUTPUT.name}")
+
+    assert jvp_speedup >= MIN_JVP_SPEEDUP, (
+        f"batched JVP reweighting {throughput['batched jvp']:.1f} examples/s is below "
+        f"{MIN_JVP_SPEEDUP}x the exact loop {baseline:.1f} examples/s"
+    )

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..kb.entity import Entity, EntityMentionPair, Mention
-from ..nn import Adam, Module, Tensor, TransformerEncoder, clip_grad_norm, no_grad
+from ..nn import Adam, Module, Tensor, TransformerEncoder, clip_grad_norm, concatenate, no_grad
 from ..nn import functional as F
 from ..text.tokenizer import Tokenizer
 from ..utils.config import BiEncoderConfig
@@ -213,6 +213,30 @@ class BiEncoder(Module):
         return self.batch_loss(batch.mention_ids, batch.entity_ids, sample_weights=weights,
                                reduction=reduction)
 
+    def fixed_negative_loss_from_ids(
+        self,
+        mention_ids: np.ndarray,
+        entity_ids: np.ndarray,
+        negative_ids: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+        reduction: str = "mean",
+    ):
+        """Fixed-negative contrastive loss from pre-tokenized id matrices.
+
+        The id-level core of :meth:`pairs_loss_with_negatives`; callers that
+        evaluate the same batch repeatedly (the meta-reweighting probes)
+        tokenize once and re-enter here at different parameters.
+        """
+        mention_vectors = self.encode_mention_ids(mention_ids)
+        gold_vectors = self.encode_entity_ids(entity_ids)
+        negative_vectors = self.encode_entity_ids(negative_ids)
+
+        gold_scores = (mention_vectors * gold_vectors).sum(axis=-1, keepdims=True) * 10.0
+        negative_scores = mention_vectors.matmul(negative_vectors.T) * 10.0
+        scores = concatenate([gold_scores, negative_scores], axis=1)
+        targets = np.zeros(len(mention_ids), dtype=np.int64)
+        return F.cross_entropy(scores, targets, reduction=reduction, sample_weights=sample_weights)
+
     def pairs_loss_with_negatives(
         self,
         pairs: Sequence[EntityMentionPair],
@@ -230,19 +254,43 @@ class BiEncoder(Module):
             raise ValueError("negative entity list must not be empty")
         batch = encode_pair_batch(pairs, self.tokenizer, self.config.encoder.max_length)
         negative_ids = encode_entity_inputs(negatives, self.tokenizer, self.config.encoder.max_length)
-
-        mention_vectors = self.encode_mention_ids(batch.mention_ids)
-        gold_vectors = self.encode_entity_ids(batch.entity_ids)
-        negative_vectors = self.encode_entity_ids(negative_ids)
-
-        gold_scores = (mention_vectors * gold_vectors).sum(axis=-1, keepdims=True) * 10.0
-        negative_scores = mention_vectors.matmul(negative_vectors.T) * 10.0
-        from ..nn import concatenate as concat_tensors
-
-        scores = concat_tensors([gold_scores, negative_scores], axis=1)
-        targets = np.zeros(len(pairs), dtype=np.int64)
         weights = batch.weights if not np.allclose(batch.weights, 1.0) else None
-        return F.cross_entropy(scores, targets, reduction=reduction, sample_weights=weights)
+        return self.fixed_negative_loss_from_ids(
+            batch.mention_ids, batch.entity_ids, negative_ids,
+            sample_weights=weights, reduction=reduction,
+        )
+
+    def prepare_pairs_loss(
+        self,
+        pairs: Sequence[EntityMentionPair],
+        negatives: Optional[Sequence[Entity]] = None,
+    ):
+        """Tokenize a pair batch once; return a closure re-evaluating its loss.
+
+        The closure ``run(reduction="sum", sample_weights=None)`` computes the
+        (fixed-negative when ``negatives`` is given, else in-batch) loss of
+        the *same* examples at the model's **current** parameters.  The
+        meta-reweighter uses it to share one tokenisation pass between the
+        base and shifted JVP evaluations and across exact probe blocks.
+        """
+        batch = encode_pair_batch(pairs, self.tokenizer, self.config.encoder.max_length)
+        negative_ids = (
+            encode_entity_inputs(negatives, self.tokenizer, self.config.encoder.max_length)
+            if negatives else None
+        )
+
+        def run(reduction: str = "sum", sample_weights: Optional[np.ndarray] = None):
+            if negative_ids is None:
+                return self.batch_loss(
+                    batch.mention_ids, batch.entity_ids,
+                    sample_weights=sample_weights, reduction=reduction,
+                )
+            return self.fixed_negative_loss_from_ids(
+                batch.mention_ids, batch.entity_ids, negative_ids,
+                sample_weights=sample_weights, reduction=reduction,
+            )
+
+        return run
 
 
 class BiEncoderTrainer:

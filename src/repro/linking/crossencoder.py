@@ -388,6 +388,105 @@ class CrossEncoder(Module):
         scores = self.scores_from_ids(ids, features).reshape(1, len(example.candidates))
         return F.cross_entropy(scores, [example.gold_index], reduction="sum")
 
+    def _graph_scores_flat(self, ids: np.ndarray, features: np.ndarray) -> Tensor:
+        """Scores for all rows with autodiff, chunked at MAX_FORWARD_ROWS."""
+        if len(ids) <= MAX_FORWARD_ROWS:
+            return self.scores_from_ids(ids, features)
+        return concatenate(
+            [
+                self.scores_from_ids(
+                    ids[start:start + MAX_FORWARD_ROWS],
+                    features[start:start + MAX_FORWARD_ROWS],
+                )
+                for start in range(0, len(ids), MAX_FORWARD_ROWS)
+            ],
+            axis=0,
+        )
+
+    def prepare_examples_loss(self, examples: Sequence[RankingExample]):
+        """Tokenize ranking examples once; return a loss-evaluating closure.
+
+        All ``(mention, candidate)`` rows are concatenated into one id/feature
+        matrix up front.  The returned ``run(reduction="mean",
+        sample_weights=None)`` pushes those rows through the encoder in a
+        single (chunked) forward at the model's **current** parameters and
+        assembles per-example softmax cross-entropy losses — the batched
+        replacement for looping ``example_loss`` over the list.  Examples may
+        have differing candidate counts; rows are regrouped by count so each
+        group softmaxes over a rectangular score matrix, and the per-example
+        losses are returned in the original example order.
+        """
+        if not examples:
+            raise ValueError("examples_loss requires at least one ranking example")
+        for position, example in enumerate(examples):
+            if not example.candidates:
+                raise ValueError(f"ranking example {position} has no candidates")
+            if not 0 <= example.gold_index < len(example.candidates):
+                raise ValueError(
+                    f"ranking example {position} gold_index {example.gold_index} "
+                    f"out of range for {len(example.candidates)} candidates"
+                )
+        ids = np.concatenate(
+            [self._cross_input_ids(e.mention, e.candidates) for e in examples], axis=0
+        )
+        features = np.concatenate(
+            [self._candidate_features(e.mention, e.candidates) for e in examples], axis=0
+        )
+        counts = np.array([len(e.candidates) for e in examples], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        # One (row indices, golds) group per distinct candidate count, plus the
+        # permutation restoring original example order after regrouping.
+        groups = []
+        grouped_order: List[int] = []
+        for count in sorted(set(counts.tolist())):
+            members = np.flatnonzero(counts == count)
+            flat_rows = (offsets[members][:, None] + np.arange(count)[None, :]).reshape(-1)
+            golds = np.array([examples[i].gold_index for i in members], dtype=np.int64)
+            groups.append((flat_rows, len(members), count, golds))
+            grouped_order.extend(members.tolist())
+        inverse_order = np.argsort(np.array(grouped_order))
+
+        def run(reduction: str = "mean", sample_weights: Optional[np.ndarray] = None):
+            flat_scores = self._graph_scores_flat(ids, features)
+            chunks = [
+                F.cross_entropy(
+                    flat_scores[rows].reshape(size, count), golds, reduction="none"
+                )
+                for rows, size, count, golds in groups
+            ]
+            losses = chunks[0] if len(chunks) == 1 else concatenate(chunks, axis=0)
+            if len(groups) > 1:
+                losses = losses[inverse_order]
+            if sample_weights is not None:
+                losses = losses * Tensor(np.asarray(sample_weights, dtype=np.float64))
+            if reduction == "none":
+                return losses
+            if reduction == "sum":
+                return losses.sum()
+            if reduction == "mean":
+                return losses.mean()
+            raise ValueError(f"unknown reduction {reduction!r}")
+
+        return run
+
+    def examples_loss(
+        self,
+        examples: Sequence[RankingExample],
+        reduction: str = "mean",
+        sample_weights: Optional[np.ndarray] = None,
+    ):
+        """Batched ranking loss over many examples in one encoder forward.
+
+        Equivalent to summing/averaging :meth:`example_loss` over ``examples``
+        but with every (mention, candidate) row scored together.
+        ``sample_weights`` scales each example's loss (zero-weight examples
+        still contribute their 0 to sums, keeping logged epoch losses
+        comparable across trainers).  Raises ``ValueError`` on an empty list.
+        """
+        return self.prepare_examples_loss(examples)(
+            reduction=reduction, sample_weights=sample_weights
+        )
+
 
 def build_ranking_examples(
     pairs: Sequence[EntityMentionPair],

@@ -1,9 +1,14 @@
 """MetaBLINK: meta-learning enhanced entity linking (Algorithms 1 and 2).
 
 ``MetaBiEncoderTrainer`` and ``MetaCrossEncoderTrainer`` implement Algorithm 1
-for the two BLINK stages: every step reweights the synthetic batch using the
-seed batch (via :class:`~repro.meta.reweight.ExampleReweighter`) and then
-applies a normal optimiser update with the weighted loss (Eq. 15).
+for the two BLINK stages as thin facades over the
+:class:`~repro.training.MetaTrainingEngine`: every step reweights the
+synthetic batch using the seed batch (via
+:class:`~repro.meta.reweight.ExampleReweighter`) and then applies a
+warmup-scheduled optimiser update with the weighted loss (Eq. 15).  The
+engine adds gradient accumulation, per-step structured metrics and resumable
+checkpointing; pass an :class:`~repro.training.EngineConfig` to turn those
+knobs.
 
 ``MetaBlinkTrainer`` implements Algorithm 2: it owns a
 :class:`~repro.linking.blink.BlinkPipeline` and trains both stages on the
@@ -12,7 +17,8 @@ synthetic data ``D_f`` under the supervision of the seed set ``D_g``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -22,11 +28,11 @@ from ..linking.biencoder import BiEncoder
 from ..linking.blink import BlinkPipeline
 from ..linking.crossencoder import CrossEncoder, RankingExample, build_ranking_examples
 from ..linking.encoders import unique_entities
-from ..nn import Adam, clip_grad_norm
 from ..text.tokenizer import Tokenizer
+from ..training.engine import EngineConfig, MetaTrainingEngine
+from ..training.tasks import BiEncoderMetaTask, CrossEncoderMetaTask
 from ..utils.config import BiEncoderConfig, CrossEncoderConfig, MetaConfig
 from ..utils.logging import MetricHistory, get_logger
-from ..utils.rng import batched_indices
 from .reweight import ExampleReweighter
 
 _LOGGER = get_logger("metablink")
@@ -48,6 +54,9 @@ class MetaBiEncoderTrainer:
     ``negative_entities`` supplies a fixed negative pool for the per-example
     loss used by the reweighter (the in-batch loss degenerates for single
     examples); it defaults to the entities of the seed pairs at fit time.
+    ``engine_config`` tunes the underlying engine (accumulation, warmup,
+    checkpointing); the engine that ran the last ``fit`` is exposed as
+    ``self.engine`` (step metrics, checkpoint helpers).
     """
 
     def __init__(
@@ -57,13 +66,16 @@ class MetaBiEncoderTrainer:
         meta_config: Optional[MetaConfig] = None,
         negative_entities: Optional[Sequence[Entity]] = None,
         max_negatives: int = 16,
+        engine_config: Optional[EngineConfig] = None,
     ) -> None:
         self.model = model
         self.config = config or model.config
         self.meta_config = meta_config or MetaConfig()
+        self.engine_config = engine_config
         self.max_negatives = max_negatives
         self._negatives: List[Entity] = list(negative_entities or [])[:max_negatives]
         self.reweighter = ExampleReweighter(model, self._loss_fn, self.meta_config)
+        self.engine: Optional[MetaTrainingEngine] = None
 
     def _loss_fn(self, pairs: Sequence[EntityMentionPair], reduction: str = "sum"):
         if self._negatives:
@@ -82,49 +94,21 @@ class MetaBiEncoderTrainer:
             raise ValueError("synthetic pair list must not be empty")
         if not seed_pairs:
             raise ValueError("seed pair list must not be empty")
-        epochs = self.config.epochs if epochs is None else epochs
-        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
-        history = MetricHistory()
-        rng = np.random.default_rng(seed)
-        synthetic_pairs = list(synthetic_pairs)
         seed_pairs = list(seed_pairs)
         if not self._negatives:
             self._negatives = unique_entities(seed_pairs)[: self.max_negatives]
-        selected_fractions: List[float] = []
-
-        self.model.train()
-        for epoch in range(epochs):
-            losses: List[float] = []
-            for index_batch in batched_indices(len(synthetic_pairs), self.config.batch_size, rng):
-                if len(index_batch) < 2:
-                    continue
-                batch = [synthetic_pairs[i] for i in index_batch]
-                seed_batch_size = min(self.meta_config.seed_batch_size, len(seed_pairs))
-                seed_indices = rng.choice(len(seed_pairs), size=seed_batch_size, replace=False)
-                seed_batch = [seed_pairs[i] for i in seed_indices]
-
-                result = self.reweighter.compute_weights(batch, seed_batch)
-                selected_fractions.append(result.selected_fraction)
-                if result.weights.sum() <= 0:
-                    continue  # nothing in this batch helps the seed loss
-                weighted_batch = [
-                    pair.reweighted(weight) for pair, weight in zip(batch, result.weights)
-                ]
-                # The update must optimise the same objective the weights were
-                # derived for: _loss_fn routes to the fixed-negative loss when
-                # a negative pool exists (exactly what the reweighter used).
-                loss = self._loss_fn(weighted_batch, reduction="sum")
-                self.model.zero_grad()
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
-                optimizer.step()
-                losses.append(loss.item())
-            mean_loss = float(np.mean(losses)) if losses else float("nan")
-            history.add("loss", mean_loss)
-            _LOGGER.debug("meta bi-encoder epoch %d loss %.4f", epoch, mean_loss)
-        history.add("selected_fraction", float(np.mean(selected_fractions)) if selected_fractions else 0.0)
-        self.model.eval()
-        return history
+        task = BiEncoderMetaTask(self.model, self._negatives)
+        self.engine = MetaTrainingEngine(
+            self.model,
+            task,
+            learning_rate=self.config.learning_rate,
+            batch_size=self.config.batch_size,
+            epochs=self.config.epochs,
+            max_grad_norm=self.config.max_grad_norm,
+            meta_config=self.meta_config,
+            engine_config=self.engine_config,
+        )
+        return self.engine.fit(list(synthetic_pairs), seed_pairs, epochs=epochs, seed=seed)
 
 
 class MetaCrossEncoderTrainer:
@@ -135,26 +119,18 @@ class MetaCrossEncoderTrainer:
         model: CrossEncoder,
         config: Optional[CrossEncoderConfig] = None,
         meta_config: Optional[MetaConfig] = None,
+        engine_config: Optional[EngineConfig] = None,
     ) -> None:
         self.model = model
         self.config = config or model.config
         self.meta_config = meta_config or MetaConfig()
+        self.engine_config = engine_config
         self.reweighter = ExampleReweighter(model, self._loss_fn, self.meta_config)
+        self.engine: Optional[MetaTrainingEngine] = None
 
     def _loss_fn(self, examples: Sequence[RankingExample], reduction: str = "sum"):
-        losses = [self.model.example_loss(example) for example in examples]
-        total = losses[0]
-        for item in losses[1:]:
-            total = total + item
-        if reduction == "mean":
-            return total * (1.0 / len(losses))
-        if reduction == "sum":
-            return total
-        if reduction == "none":
-            from ..nn import stack_tensors
-
-            return stack_tensors([loss.reshape(1)[0] for loss in losses])
-        raise ValueError(f"unknown reduction {reduction!r}")
+        """Batched ranking loss; raises ``ValueError`` on an empty list."""
+        return self.model.examples_loss(examples, reduction=reduction)
 
     def fit(
         self,
@@ -168,48 +144,18 @@ class MetaCrossEncoderTrainer:
             raise ValueError("synthetic example list must not be empty")
         if not seed_examples:
             raise ValueError("seed example list must not be empty")
-        epochs = self.config.epochs if epochs is None else epochs
-        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
-        history = MetricHistory()
-        rng = np.random.default_rng(seed)
-        synthetic_examples = list(synthetic_examples)
-        seed_examples = list(seed_examples)
-        selected_fractions: List[float] = []
-
-        self.model.train()
-        for epoch in range(epochs):
-            losses: List[float] = []
-            for index_batch in batched_indices(len(synthetic_examples), self.config.batch_size, rng):
-                if len(index_batch) < 2:
-                    continue
-                batch = [synthetic_examples[i] for i in index_batch]
-                seed_batch_size = min(self.meta_config.seed_batch_size, len(seed_examples))
-                seed_indices = rng.choice(len(seed_examples), size=seed_batch_size, replace=False)
-                seed_batch = [seed_examples[i] for i in seed_indices]
-
-                result = self.reweighter.compute_weights(batch, seed_batch)
-                selected_fractions.append(result.selected_fraction)
-                if result.weights.sum() <= 0:
-                    continue
-                total = None
-                for example, weight in zip(batch, result.weights):
-                    if weight <= 0:
-                        continue
-                    term = self.model.example_loss(example) * float(weight)
-                    total = term if total is None else total + term
-                if total is None:
-                    continue
-                self.model.zero_grad()
-                total.backward()
-                clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
-                optimizer.step()
-                losses.append(total.item())
-            mean_loss = float(np.mean(losses)) if losses else float("nan")
-            history.add("loss", mean_loss)
-            _LOGGER.debug("meta cross-encoder epoch %d loss %.4f", epoch, mean_loss)
-        history.add("selected_fraction", float(np.mean(selected_fractions)) if selected_fractions else 0.0)
-        self.model.eval()
-        return history
+        task = CrossEncoderMetaTask(self.model)
+        self.engine = MetaTrainingEngine(
+            self.model,
+            task,
+            learning_rate=self.config.learning_rate,
+            batch_size=self.config.batch_size,
+            epochs=self.config.epochs,
+            max_grad_norm=self.config.max_grad_norm,
+            meta_config=self.meta_config,
+            engine_config=self.engine_config,
+        )
+        return self.engine.fit(list(synthetic_examples), list(seed_examples), epochs=epochs, seed=seed)
 
 
 class MetaBlinkTrainer:
@@ -221,12 +167,25 @@ class MetaBlinkTrainer:
         biencoder_config: Optional[BiEncoderConfig] = None,
         crossencoder_config: Optional[CrossEncoderConfig] = None,
         meta_config: Optional[MetaConfig] = None,
+        engine_config: Optional[EngineConfig] = None,
     ) -> None:
         self.tokenizer = tokenizer
         self.biencoder_config = biencoder_config or BiEncoderConfig()
         self.crossencoder_config = crossencoder_config or CrossEncoderConfig()
         self.meta_config = meta_config or MetaConfig()
+        self.engine_config = engine_config
         self.pipeline = BlinkPipeline(tokenizer, self.biencoder_config, self.crossencoder_config)
+
+    def _stage_engine_config(self, stage: str) -> Optional[EngineConfig]:
+        """Per-stage engine config: each stage checkpoints into its own
+        subdirectory, otherwise the two engines would overwrite (and prune)
+        each other's ``epoch-*.npz`` files."""
+        if self.engine_config is None or not self.engine_config.checkpoint_dir:
+            return self.engine_config
+        return replace(
+            self.engine_config,
+            checkpoint_dir=str(Path(self.engine_config.checkpoint_dir) / stage),
+        )
 
     def train(
         self,
@@ -253,6 +212,7 @@ class MetaBlinkTrainer:
             self.biencoder_config,
             self.meta_config,
             negative_entities=negatives,
+            engine_config=self._stage_engine_config("biencoder"),
         )
         report.biencoder_loss = bi_trainer.fit(synthetic_pairs, seed_pairs, seed=seed)
 
@@ -271,7 +231,8 @@ class MetaBlinkTrainer:
                 list(seed_pairs), pool, self.crossencoder_config.num_candidates, seed=seed + 1
             )
             cross_trainer = MetaCrossEncoderTrainer(
-                self.pipeline.crossencoder, self.crossencoder_config, self.meta_config
+                self.pipeline.crossencoder, self.crossencoder_config, self.meta_config,
+                engine_config=self._stage_engine_config("crossencoder"),
             )
             report.crossencoder_loss = cross_trainer.fit(synthetic_examples, seed_examples, seed=seed)
             selected.append(report.crossencoder_loss.last("selected_fraction"))

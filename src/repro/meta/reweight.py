@@ -19,12 +19,23 @@ i.e. a synthetic example receives positive weight exactly when its gradient
 points in the same direction as the seed-set gradient.  The implementation
 offers two ways to obtain the per-example gradients:
 
-* **exact** — backpropagate each synthetic example separately (slow but
-  exactly Eq. 12);
-* **jvp** — a finite-difference Jacobian-vector product: evaluate each
-  example's loss at ``φ`` and at ``φ + ε·g_seed`` and divide by ``ε``.  This
-  costs two batched forward passes instead of ``n`` backward passes and
+* **exact** — backpropagate each synthetic example separately.  The probe
+  forward is batched: examples are grouped into *probe blocks*, the
+  per-example loss vector of a block is built with one shared forward pass
+  (one tokenisation, one negative-pool encode), and each example's gradient
+  is read off that shared graph with a one-hot-seeded backward;
+* **jvp** — a finite-difference Jacobian-vector product along the *unit*
+  seed direction: evaluate every example's loss at ``φ`` and at
+  ``φ + ε·g/‖g‖`` and rescale the quotient by ``‖g‖``.  This costs two
+  batched graph-free forward passes instead of ``n`` backward passes and
   matches the exact dot products to first order.
+
+All probe evaluations (seed gradient included) run with the model in eval
+mode: dropout draws a fresh mask per forward, so probing in training mode
+would measure mask noise instead of ⟨∇l_j, g_seed⟩ — catastrophically so for
+the finite difference, whose quotient divides that noise by ε.  The mode is
+restored afterwards, so the *update* step of Algorithm 1 still trains with
+dropout active.
 
 Both paths end with the paper's Eq. 13–14: negative weights are clipped to
 zero and the remainder is normalised to sum to one.
@@ -32,12 +43,14 @@ zero and the remainder is normalised to sum to one.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from ..kb.entity import EntityMentionPair
+from ..nn.tensor import Tensor, no_grad
 from ..utils.config import MetaConfig
 from ..utils.logging import get_logger
 
@@ -45,6 +58,10 @@ _LOGGER = get_logger("meta.reweight")
 
 # A "loss function" maps a list of pairs to a repro.nn Tensor scalar (sum of
 # per-pair losses) or, with reduction="none", to a vector of per-pair losses.
+# Objects that additionally expose ``prepare(items) -> callable(reduction=...)``
+# let the reweighter tokenize a probe batch once and re-evaluate it at
+# different parameters (the JVP path) or reuse its graph inputs (the exact
+# path); see repro.training.tasks for such adapters.
 LossFunction = Callable[..., object]
 
 
@@ -73,6 +90,21 @@ def normalize_weights(raw: np.ndarray) -> np.ndarray:
     return clipped / total
 
 
+def _graph_tensors(root: Tensor) -> List[Tensor]:
+    """Every tensor reachable from ``root`` through recorded parents."""
+    nodes: List[Tensor] = []
+    seen: set = set()
+    stack: List[Tensor] = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        nodes.append(node)
+        stack.extend(node._parents)
+    return nodes
+
+
 class ExampleReweighter:
     """Compute per-example weights for synthetic batches.
 
@@ -81,13 +113,17 @@ class ExampleReweighter:
     model:
         Any :class:`repro.nn.Module`; the reweighter only needs
         ``zero_grad`` / ``gradient_vector`` / ``flatten_parameters`` /
-        ``assign_flat_parameters``.
+        ``assign_flat_parameters`` / ``train``.
     loss_fn:
         Callable ``loss_fn(pairs, reduction=...)`` returning a scalar Tensor
         for ``reduction="sum"``/``"mean"`` and a vector Tensor of per-example
-        losses for ``reduction="none"``.
+        losses for ``reduction="none"``.  When the callable also exposes
+        ``prepare(pairs)`` (see :mod:`repro.training.tasks`), the probe batch
+        is tokenized once and shared between the base and shifted JVP
+        evaluations and across a probe block's exact backwards.
     config:
-        Meta-learning hyper-parameters (inner learning rate, JVP epsilon...).
+        Meta-learning hyper-parameters (inner learning rate, JVP epsilon,
+        probe block size...).
     """
 
     def __init__(self, model, loss_fn: LossFunction, config: Optional[MetaConfig] = None) -> None:
@@ -96,32 +132,87 @@ class ExampleReweighter:
         self.config = config or MetaConfig()
 
     # ------------------------------------------------------------------
+    # Probe helpers
+    # ------------------------------------------------------------------
+    def _prepare_probe(self, pairs: Sequence[EntityMentionPair]) -> Callable[..., object]:
+        """A closure evaluating the per-example losses at the current params.
+
+        Prefers the loss function's ``prepare`` hook (tokenize once, evaluate
+        many times); falls back to calling the loss function directly.
+        """
+        prepare = getattr(self.loss_fn, "prepare", None)
+        if prepare is not None:
+            return prepare(pairs)
+        return lambda reduction="none": self.loss_fn(pairs, reduction=reduction)
+
+    @contextmanager
+    def _probe_mode(self) -> Iterator[None]:
+        """Run probes in eval mode; restore the previous mode afterwards.
+
+        Dropout draws an independent mask per forward pass, so probe losses
+        evaluated in training mode are noisy point estimates: the JVP finite
+        difference would divide that noise by ε, and exact per-example
+        gradients would each see a different network.  Evaluation mode makes
+        every probe deterministic at the current parameters.
+        """
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            yield
+        finally:
+            self.model.train(was_training)
+
+    # ------------------------------------------------------------------
     # Gradient helpers
     # ------------------------------------------------------------------
     def seed_gradient(self, seed_pairs: Sequence[EntityMentionPair]) -> np.ndarray:
         """∇_φ of the mean seed loss at the current parameters."""
         if not seed_pairs:
             raise ValueError("seed batch must not be empty")
-        self.model.zero_grad()
-        loss = self.loss_fn(seed_pairs, reduction="mean")
-        loss.backward()
-        gradient = self.model.gradient_vector()
-        self.model.zero_grad()
+        with self._probe_mode():
+            self.model.zero_grad()
+            loss = self.loss_fn(seed_pairs, reduction="mean")
+            loss.backward()
+            gradient = self.model.gradient_vector()
+            self.model.zero_grad()
         return gradient
 
     def per_example_gradient_dots(
         self,
         synthetic_pairs: Sequence[EntityMentionPair],
         seed_gradient: np.ndarray,
+        block_size: Optional[int] = None,
     ) -> np.ndarray:
-        """⟨∇_φ l_j, g_seed⟩ for every synthetic example (exact path)."""
+        """⟨∇_φ l_j, g_seed⟩ for every synthetic example (exact path).
+
+        Examples are processed in probe blocks of ``block_size`` (default
+        ``config.probe_block_size``): one batched forward builds the block's
+        per-example loss vector — tokenisation and any shared sub-forward
+        (e.g. the fixed negative pool of the bi-encoder loss) happen once per
+        block instead of once per example — and each example's exact gradient
+        is then extracted with a one-hot-seeded backward on that shared graph.
+        """
+        block_size = block_size or self.config.probe_block_size
+        block_size = max(1, int(block_size))
         dots = np.zeros(len(synthetic_pairs))
-        for index, pair in enumerate(synthetic_pairs):
+        with self._probe_mode():
             self.model.zero_grad()
-            loss = self.loss_fn([pair], reduction="sum")
-            loss.backward()
-            dots[index] = float(self.model.gradient_vector() @ seed_gradient)
-        self.model.zero_grad()
+            for start in range(0, len(synthetic_pairs), block_size):
+                block = list(synthetic_pairs[start:start + block_size])
+                probe = self._prepare_probe(block)
+                losses = probe(reduction="none")
+                nodes = _graph_tensors(losses)
+                seed = np.zeros(len(block))
+                for offset in range(len(block)):
+                    for node in nodes:
+                        node.grad = None
+                    seed[:] = 0.0
+                    seed[offset] = 1.0
+                    losses.backward(seed)
+                    dots[start + offset] = float(self.model.gradient_vector() @ seed_gradient)
+                for node in nodes:
+                    node.grad = None
+            self.model.zero_grad()
         return dots
 
     def jvp_gradient_dots(
@@ -131,23 +222,31 @@ class ExampleReweighter:
     ) -> np.ndarray:
         """Finite-difference estimate of the same dot products (fast path).
 
-        ``(l_j(φ + ε·g) - l_j(φ)) / ε ≈ ⟨∇_φ l_j, g⟩`` — one extra forward
-        pass evaluates every example's directional derivative at once.
+        ``‖g‖ · (l_j(φ + ε·g/‖g‖) - l_j(φ)) / ε ≈ ⟨∇_φ l_j, g⟩`` — one extra
+        batched forward pass evaluates every example's directional derivative
+        at once.  The perturbation is taken along the *unit* seed direction so
+        the step stays inside the linear regime regardless of the seed
+        gradient's magnitude, and the quotient is rescaled by ``‖g‖``
+        afterwards.  Both evaluations run in eval mode (identical, dropout
+        free) and graph-free.
         """
         epsilon = self.config.jvp_epsilon
-        gradient_norm = np.linalg.norm(seed_gradient)
+        gradient_norm = float(np.linalg.norm(seed_gradient))
         if gradient_norm == 0.0:
             return np.zeros(len(synthetic_pairs))
+        direction = seed_gradient / gradient_norm
+        probe = self._prepare_probe(synthetic_pairs)
         original = self.model.flatten_parameters()
-        base = np.asarray(self.loss_fn(synthetic_pairs, reduction="none").data, dtype=np.float64)
-        try:
-            self.model.assign_flat_parameters(original + epsilon * seed_gradient)
-            shifted = np.asarray(
-                self.loss_fn(synthetic_pairs, reduction="none").data, dtype=np.float64
-            )
-        finally:
-            self.model.assign_flat_parameters(original)
-        return (shifted - base) / epsilon
+        with self._probe_mode():
+            try:
+                with no_grad():
+                    base = np.array(probe(reduction="none").data, dtype=np.float64, copy=True)
+                self.model.assign_flat_parameters(original + epsilon * direction)
+                with no_grad():
+                    shifted = np.array(probe(reduction="none").data, dtype=np.float64, copy=True)
+            finally:
+                self.model.assign_flat_parameters(original)
+        return (shifted - base) * (gradient_norm / epsilon)
 
     # ------------------------------------------------------------------
     # Main entry point

@@ -11,7 +11,12 @@ from .attention import KVCache, MultiHeadAttention
 from .layers import Dropout, Embedding, FeedForward, LayerNorm, Linear
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, LinearWarmupSchedule, Optimizer, clip_grad_norm
-from .serialization import load_checkpoint, save_checkpoint
+from .serialization import (
+    load_checkpoint,
+    load_training_checkpoint,
+    save_checkpoint,
+    save_training_checkpoint,
+)
 from .tensor import (
     Tensor,
     compute_dtype,
@@ -71,4 +76,6 @@ __all__ = [
     "clip_grad_norm",
     "save_checkpoint",
     "load_checkpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
 ]

@@ -1,8 +1,14 @@
-"""Optimisers (SGD, Adam) and gradient utilities."""
+"""Optimisers (SGD, Adam), LR schedules and gradient utilities.
+
+Optimisers and :class:`LinearWarmupSchedule` expose ``state_dict`` /
+``load_state_dict`` so a training run can be checkpointed and resumed
+bit-identically (moment buffers, step counters and the scheduled learning
+rate all round-trip; see :func:`repro.nn.serialization.save_training_checkpoint`).
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -27,6 +33,32 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialisable optimiser state (see subclasses for buffers)."""
+        return {"lr": float(self.lr)}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+    @staticmethod
+    def _check_buffers(buffers: List[np.ndarray], parameters: List[Parameter], label: str) -> List[np.ndarray]:
+        if len(buffers) != len(parameters):
+            raise ValueError(
+                f"optimizer state has {len(buffers)} {label} buffers, "
+                f"model has {len(parameters)} parameters"
+            )
+        restored = []
+        for buffer, parameter in zip(buffers, parameters):
+            buffer = np.asarray(buffer, dtype=np.float64)
+            if buffer.shape != parameter.shape:
+                raise ValueError(
+                    f"{label} buffer shape {buffer.shape} does not match "
+                    f"parameter shape {parameter.shape}"
+                )
+            restored.append(buffer.copy())
+        return restored
 
 
 class SGD(Optimizer):
@@ -56,6 +88,13 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             parameter.data = parameter.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"lr": float(self.lr), "velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._check_buffers(list(state["velocity"]), self.parameters, "velocity")
 
 
 class Adam(Optimizer):
@@ -95,6 +134,20 @@ class Adam(Optimizer):
             v_hat = v / bias2
             parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "lr": float(self.lr),
+            "step_count": int(self._step_count),
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        self._m = self._check_buffers(list(state["m"]), self.parameters, "m")
+        self._v = self._check_buffers(list(state["v"]), self.parameters, "v")
+
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Clip gradients in place so their global L2 norm is at most ``max_norm``.
@@ -127,14 +180,33 @@ class LinearWarmupSchedule:
         self.total_steps = total_steps
         self._step_count = 0
 
+    def _factor(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return step / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        denominator = max(self.total_steps - self.warmup_steps, 1)
+        return max(remaining / denominator, 0.0)
+
     def step(self) -> float:
         """Advance one step and return the new learning rate."""
         self._step_count += 1
-        if self.warmup_steps and self._step_count <= self.warmup_steps:
-            factor = self._step_count / self.warmup_steps
-        else:
-            remaining = max(self.total_steps - self._step_count, 0)
-            denominator = max(self.total_steps - self.warmup_steps, 1)
-            factor = max(remaining / denominator, 0.0)
-        self.optimizer.lr = self.base_lr * factor
+        self.optimizer.lr = self.base_lr * self._factor(self._step_count)
         return self.optimizer.lr
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialisable schedule state (counters + base learning rate)."""
+        return {
+            "step_count": int(self._step_count),
+            "warmup_steps": int(self.warmup_steps),
+            "total_steps": int(self.total_steps),
+            "base_lr": float(self.base_lr),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore the schedule and re-apply the scheduled learning rate."""
+        self.warmup_steps = int(state["warmup_steps"])
+        self.total_steps = int(state["total_steps"])
+        self.base_lr = float(state["base_lr"])
+        self._step_count = int(state["step_count"])
+        if self._step_count > 0:
+            self.optimizer.lr = self.base_lr * self._factor(self._step_count)

@@ -1,0 +1,20 @@
+"""``repro.training`` — the meta-training engine and its stage adapters.
+
+The engine (:class:`MetaTrainingEngine`) owns the Algorithm 1
+reweight→accumulate→update cycle — gradient accumulation, linear-warmup
+scheduling, per-step structured metrics and resumable checkpointing — while
+task adapters (:class:`BiEncoderMetaTask`, :class:`CrossEncoderMetaTask`)
+bind it to the two BLINK stages.  The ``repro.meta`` trainers are thin
+facades over this subsystem.
+"""
+
+from .engine import EngineConfig, MetaTrainingEngine, StepMetrics
+from .tasks import BiEncoderMetaTask, CrossEncoderMetaTask
+
+__all__ = [
+    "EngineConfig",
+    "MetaTrainingEngine",
+    "StepMetrics",
+    "BiEncoderMetaTask",
+    "CrossEncoderMetaTask",
+]

@@ -1,0 +1,360 @@
+"""The meta-training engine: reweight → accumulate → update, restartably.
+
+:class:`MetaTrainingEngine` owns the full Algorithm 1 training cycle for one
+stage (bi-encoder or cross-encoder, abstracted behind a task adapter from
+:mod:`repro.training.tasks`):
+
+1. **reweight** — every synthetic batch is weighted against a freshly sampled
+   seed batch by an :class:`~repro.meta.reweight.ExampleReweighter` (exact
+   probe blocks or the batched JVP, per ``MetaConfig``);
+2. **accumulate** — the weighted-loss gradient of each micro-batch is added
+   to a flat accumulation buffer (``EngineConfig.accumulation_steps`` of them
+   per update), which survives the reweighter's own zero-grad cycles;
+3. **update** — the averaged gradient is clipped, the
+   :class:`~repro.nn.optim.LinearWarmupSchedule` advances the learning rate,
+   and Adam applies the step.
+
+Every step appends a :class:`StepMetrics` record, and with a
+``checkpoint_dir`` configured the engine writes a full training checkpoint
+(parameters, Adam moments, engine *and* dropout RNG states, epoch cursor,
+loss history) every ``checkpoint_every`` epochs.  :meth:`MetaTrainingEngine.restore`
+reloads one and :meth:`MetaTrainingEngine.fit` continues the run
+bit-identically to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..nn import Adam, LinearWarmupSchedule, clip_grad_norm
+from ..nn.layers import Dropout
+from ..nn.serialization import load_training_checkpoint, save_training_checkpoint
+from ..utils.config import MetaConfig
+from ..utils.logging import MetricHistory, get_logger
+from ..utils.rng import batched_indices
+
+_LOGGER = get_logger("training.engine")
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Orchestration knobs of the meta-training engine.
+
+    ``accumulation_steps`` micro-batches contribute to each optimiser update
+    (their gradients are averaged).  ``warmup_fraction`` of the planned
+    optimiser steps warm the learning rate up linearly before the linear
+    decay (set ``use_warmup_schedule=False`` for a constant rate).  With a
+    ``checkpoint_dir``, a training checkpoint is written every
+    ``checkpoint_every`` epochs and the oldest beyond ``keep_checkpoints``
+    are pruned.
+    """
+
+    accumulation_steps: int = 1
+    use_warmup_schedule: bool = True
+    warmup_fraction: float = 0.1
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+    keep_checkpoints: int = 3
+
+
+@dataclass
+class StepMetrics:
+    """Structured record of one reweight→accumulate(→update) step."""
+
+    step: int
+    epoch: int
+    loss: float
+    learning_rate: float
+    selected_fraction: float
+    seed_gradient_norm: float
+    weight_sum: float
+    batch_size: int
+    skipped: bool
+    duration_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class MetaTrainingEngine:
+    """Own the reweight→accumulate→update cycle for one training stage.
+
+    Parameters
+    ----------
+    model:
+        The stage's :class:`repro.nn.Module`.
+    task:
+        A task adapter (see :mod:`repro.training.tasks`): callable probe loss
+        plus ``prepare`` / ``weighted_loss`` hooks.
+    learning_rate / batch_size / epochs / max_grad_norm:
+        Stage hyper-parameters (usually lifted from the stage config).
+    meta_config / engine_config:
+        Reweighting and orchestration knobs.
+
+    Example::
+
+        task = BiEncoderMetaTask(model, negatives)
+        engine = MetaTrainingEngine(model, task, learning_rate=5e-3,
+                                    batch_size=16, epochs=3)
+        history = engine.fit(synthetic_pairs, seed_pairs, seed=0)
+        # ... interrupted?  restore and continue:
+        engine2 = MetaTrainingEngine(fresh_model, task2, ...)
+        engine2.restore("ckpts/epoch-0002.npz")
+        engine2.fit(synthetic_pairs, seed_pairs, seed=0)   # epochs 3..N
+    """
+
+    def __init__(
+        self,
+        model,
+        task,
+        *,
+        learning_rate: float,
+        batch_size: int,
+        epochs: int,
+        max_grad_norm: float = 1.0,
+        meta_config: Optional[MetaConfig] = None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.model = model
+        self.task = task
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.default_epochs = epochs
+        self.max_grad_norm = max_grad_norm
+        self.meta_config = meta_config or MetaConfig()
+        self.config = engine_config or EngineConfig()
+        if self.config.accumulation_steps < 1:
+            raise ValueError("accumulation_steps must be at least 1")
+        # Imported here (not at module level): repro.meta's trainers are
+        # facades over this engine, so the packages reference each other.
+        from ..meta.reweight import ExampleReweighter
+
+        self.reweighter = ExampleReweighter(model, task, self.meta_config)
+        self.optimizer = Adam(model.parameters(), lr=learning_rate)
+        self.history = MetricHistory()
+        self.step_metrics: List[StepMetrics] = []
+        self.schedule: Optional[LinearWarmupSchedule] = None
+        self._rng: Optional[np.random.Generator] = None
+        self._completed_epochs = 0
+        self._optimizer_steps = 0
+        self._selected_fractions: List[float] = []
+        self._restored_schedule_state: Optional[Dict[str, object]] = None
+        self._total_steps_hint: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        synthetic_items: Sequence,
+        seed_items: Sequence,
+        epochs: Optional[int] = None,
+        seed: int = 0,
+    ) -> MetricHistory:
+        """Run (or, after :meth:`restore`, continue) meta-weighted training.
+
+        ``epochs`` is the *total* epoch count of the run: a restored engine
+        trains only the epochs beyond its checkpoint cursor, drawing from the
+        restored RNG stream so the continuation matches an uninterrupted run
+        exactly.  Returns the per-epoch loss history (plus the mean
+        ``selected_fraction``), mirroring the legacy trainer API.
+        """
+        synthetic_items = list(synthetic_items)
+        seed_items = list(seed_items)
+        if not synthetic_items:
+            raise ValueError("synthetic item list must not be empty")
+        if not seed_items:
+            raise ValueError("seed item list must not be empty")
+        epochs = self.default_epochs if epochs is None else epochs
+        if self._rng is None:
+            self._rng = np.random.default_rng(seed)
+        # The LR schedule is planned over the engine's full epoch budget (not
+        # this call's stopping point), so a run interrupted mid-way follows
+        # the same trajectory as an uninterrupted one.
+        self._ensure_schedule(len(synthetic_items), max(epochs, self.default_epochs))
+        accumulation = self.config.accumulation_steps
+
+        self.model.train()
+        for epoch in range(self._completed_epochs, epochs):
+            epoch_losses: List[float] = []
+            accumulated: Optional[np.ndarray] = None
+            accumulated_count = 0
+            for index_batch in batched_indices(len(synthetic_items), self.batch_size, self._rng):
+                if len(index_batch) < 2:
+                    continue
+                step_start = time.perf_counter()
+                batch = [synthetic_items[i] for i in index_batch]
+                seed_batch_size = min(self.meta_config.seed_batch_size, len(seed_items))
+                seed_indices = self._rng.choice(len(seed_items), size=seed_batch_size, replace=False)
+                seed_batch = [seed_items[i] for i in seed_indices]
+
+                result = self.reweighter.compute_weights(batch, seed_batch)
+                self._selected_fractions.append(result.selected_fraction)
+                weight_sum = float(result.weights.sum())
+                if weight_sum <= 0.0:
+                    # Nothing in this batch helps the seed loss.
+                    self._record_step(epoch, float("nan"), result, weight_sum,
+                                      len(batch), True, step_start)
+                    continue
+
+                loss = self.task.weighted_loss(batch, result.weights)
+                self.model.zero_grad()
+                loss.backward()
+                gradient = self.model.gradient_vector()
+                accumulated = gradient if accumulated is None else accumulated + gradient
+                accumulated_count += 1
+                if accumulated_count >= accumulation:
+                    self._apply_update(accumulated, accumulated_count)
+                    accumulated, accumulated_count = None, 0
+                epoch_losses.append(loss.item())
+                self._record_step(epoch, loss.item(), result, weight_sum,
+                                  len(batch), False, step_start)
+            if accumulated is not None:
+                # Flush the trailing partial accumulation window.
+                self._apply_update(accumulated, accumulated_count)
+            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            self.history.add("loss", mean_loss)
+            _LOGGER.debug("meta engine epoch %d loss %.4f", epoch, mean_loss)
+            self._completed_epochs = epoch + 1
+            self._maybe_checkpoint()
+        self.history.add(
+            "selected_fraction",
+            float(np.mean(self._selected_fractions)) if self._selected_fractions else 0.0,
+        )
+        self.model.eval()
+        return self.history
+
+    def _ensure_schedule(self, num_items: int, epochs: int) -> None:
+        if not self.config.use_warmup_schedule or self.schedule is not None:
+            return
+        batches_per_epoch = max(1, math.ceil(num_items / self.batch_size))
+        steps_per_epoch = max(1, math.ceil(batches_per_epoch / self.config.accumulation_steps))
+        total_steps = self._total_steps_hint or max(1, epochs * steps_per_epoch)
+        warmup_steps = int(round(self.config.warmup_fraction * total_steps))
+        self.schedule = LinearWarmupSchedule(self.optimizer, warmup_steps, total_steps)
+        if self._restored_schedule_state is not None:
+            self.schedule.load_state_dict(self._restored_schedule_state)
+            self._restored_schedule_state = None
+
+    def _apply_update(self, accumulated: np.ndarray, count: int) -> None:
+        """Write the averaged accumulated gradient back and take one step."""
+        flat = accumulated / count if count > 1 else accumulated
+        offset = 0
+        for parameter in self.model.parameters():
+            size = parameter.size
+            parameter.grad = flat[offset:offset + size].reshape(parameter.shape)
+            offset += size
+        clip_grad_norm(self.model.parameters(), self.max_grad_norm)
+        if self.schedule is not None:
+            self.schedule.step()
+        self.optimizer.step()
+        self.model.zero_grad()
+        self._optimizer_steps += 1
+
+    def _record_step(
+        self,
+        epoch: int,
+        loss: float,
+        result,
+        weight_sum: float,
+        batch_size: int,
+        skipped: bool,
+        step_start: float,
+    ) -> None:
+        self.step_metrics.append(
+            StepMetrics(
+                step=len(self.step_metrics),
+                epoch=epoch,
+                loss=float(loss),
+                learning_rate=float(self.optimizer.lr),
+                selected_fraction=float(result.selected_fraction),
+                seed_gradient_norm=float(result.seed_gradient_norm),
+                weight_sum=float(weight_sum),
+                batch_size=int(batch_size),
+                skipped=bool(skipped),
+                duration_s=time.perf_counter() - step_start,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _dropout_states(self) -> Dict[str, object]:
+        """Per-module RNG states of every Dropout layer (training-mode noise)."""
+        states: Dict[str, object] = {}
+        for name, module in self.model.named_modules():
+            if isinstance(module, Dropout):
+                states[name] = module._rng.bit_generator.state
+        return states
+
+    def _restore_dropout_states(self, states: Dict[str, object]) -> None:
+        for name, module in self.model.named_modules():
+            if isinstance(module, Dropout) and name in states:
+                module._rng.bit_generator.state = states[name]
+
+    def save_checkpoint(self, path: PathLike) -> Path:
+        """Write a full training checkpoint (resumable via :meth:`restore`)."""
+        metadata = {
+            "engine": {
+                "completed_epochs": self._completed_epochs,
+                "optimizer_steps": self._optimizer_steps,
+                "loss_history": self.history.as_dict(),
+                "selected_fractions": list(self._selected_fractions),
+                "step_metrics": [m.to_dict() for m in self.step_metrics],
+                "total_steps": self.schedule.total_steps if self.schedule else None,
+                "learning_rate": self.learning_rate,
+                "batch_size": self.batch_size,
+            },
+            "rng": {
+                "engine": self._rng.bit_generator.state if self._rng is not None else None,
+                "dropout": self._dropout_states(),
+            },
+            "schedule": self.schedule.state_dict() if self.schedule else None,
+        }
+        return save_training_checkpoint(self.model, path, optimizer=self.optimizer, metadata=metadata)
+
+    def restore(self, path: PathLike) -> Dict[str, object]:
+        """Load a checkpoint into this engine; the next :meth:`fit` continues it.
+
+        Restores parameters, Adam moments, the engine and dropout RNG
+        streams, the epoch cursor and the metric history, making the
+        continued run bit-identical to one that never stopped.
+        """
+        metadata = load_training_checkpoint(self.model, path, optimizer=self.optimizer)
+        engine_meta = metadata.get("engine", {})
+        self._completed_epochs = int(engine_meta.get("completed_epochs", 0))
+        self._optimizer_steps = int(engine_meta.get("optimizer_steps", 0))
+        self._selected_fractions = [float(v) for v in engine_meta.get("selected_fractions", [])]
+        self._total_steps_hint = engine_meta.get("total_steps")
+        self.history = MetricHistory()
+        for name, values in engine_meta.get("loss_history", {}).items():
+            for value in values:
+                self.history.add(name, value)
+        self.step_metrics = [StepMetrics(**record) for record in engine_meta.get("step_metrics", [])]
+        rng_meta = metadata.get("rng", {})
+        if rng_meta.get("engine") is not None:
+            self._rng = np.random.default_rng()
+            self._rng.bit_generator.state = rng_meta["engine"]
+        self._restore_dropout_states(rng_meta.get("dropout", {}))
+        self._restored_schedule_state = metadata.get("schedule")
+        return metadata
+
+    def _maybe_checkpoint(self) -> None:
+        if not self.config.checkpoint_dir or self.config.checkpoint_every <= 0:
+            return
+        if self._completed_epochs % self.config.checkpoint_every != 0:
+            return
+        directory = Path(self.config.checkpoint_dir)
+        path = self.save_checkpoint(directory / f"epoch-{self._completed_epochs:04d}.npz")
+        _LOGGER.debug("wrote checkpoint %s", path)
+        checkpoints = sorted(directory.glob("epoch-*.npz"))
+        for stale in checkpoints[:-self.config.keep_checkpoints]:
+            stale.unlink()

@@ -1,0 +1,125 @@
+"""Tests for the vectorized reweighting paths and the fixed JVP estimator."""
+
+import numpy as np
+import pytest
+
+from repro.data import pairs_from_mentions, split_domain
+from repro.generation import build_exact_match_data
+from repro.linking import BiEncoder
+from repro.meta import ExampleReweighter, few_shot_seed, normalize_weights
+from repro.training import BiEncoderMetaTask
+from repro.utils.config import BiEncoderConfig, EncoderConfig, MetaConfig
+
+# Dropout deliberately on: the probes must be immune to it (they run in eval
+# mode), which is exactly what the JVP fix is about.
+ENC = EncoderConfig(model_dim=16, num_layers=1, num_heads=2, hidden_dim=32,
+                    max_length=32, dropout=0.2)
+BI_CFG = BiEncoderConfig(encoder=ENC, epochs=1, batch_size=8, learning_rate=5e-3)
+
+
+@pytest.fixture(scope="module")
+def reweight_data(tiny_corpus):
+    domain = "yugioh"
+    split = split_domain(tiny_corpus, domain, seed_size=20, dev_size=10)
+    seed_pairs = few_shot_seed(pairs_from_mentions(tiny_corpus, domain, split.train, source="seed"))
+    synthetic = build_exact_match_data(tiny_corpus, domain, per_entity=2)
+    entities = tiny_corpus.entities(domain)
+    return seed_pairs, synthetic, entities
+
+
+def make_reweighter(tokenizer, entities, config=None):
+    model = BiEncoder(BI_CFG, tokenizer)
+    task = BiEncoderMetaTask(model, entities[:8])
+    return model, ExampleReweighter(model, task, config or MetaConfig())
+
+
+class TestNormalizeWeightsEdgeCases:
+    def test_all_negative_returns_zeros(self):
+        assert np.allclose(normalize_weights(np.array([-1.0, -0.5, -3.0])), 0.0)
+
+    def test_single_positive_example_gets_full_weight(self):
+        assert np.allclose(normalize_weights(np.array([5.0])), [1.0])
+
+    def test_single_negative_example_gets_zero(self):
+        assert np.allclose(normalize_weights(np.array([-5.0])), [0.0])
+
+    def test_empty_input(self):
+        assert normalize_weights(np.array([])).size == 0
+
+
+class TestExactBlockedPath:
+    def test_blocked_matches_per_example_loop(self, reweight_data, tiny_tokenizer):
+        """Every probe block size must reproduce the one-example-at-a-time dots."""
+        seed_pairs, synthetic, entities = reweight_data
+        model, reweighter = make_reweighter(tiny_tokenizer, entities)
+        seed_grad = reweighter.seed_gradient(seed_pairs[:8])
+        batch = synthetic[:10]
+        reference = reweighter.per_example_gradient_dots(batch, seed_grad, block_size=1)
+        for block_size in (2, 3, 10, 64):
+            blocked = reweighter.per_example_gradient_dots(batch, seed_grad, block_size=block_size)
+            assert np.allclose(blocked, reference, rtol=1e-9, atol=1e-9), block_size
+
+    def test_training_mode_restored_and_grads_cleared(self, reweight_data, tiny_tokenizer):
+        seed_pairs, synthetic, entities = reweight_data
+        model, reweighter = make_reweighter(tiny_tokenizer, entities)
+        model.train()
+        seed_grad = reweighter.seed_gradient(seed_pairs[:8])
+        reweighter.per_example_gradient_dots(synthetic[:6], seed_grad)
+        assert model.training, "probes must restore training mode"
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestJvpEstimator:
+    def test_first_order_agreement_with_exact_under_dropout(self, reweight_data, tiny_tokenizer):
+        """JVP dots must match exact dots to first order despite dropout layers."""
+        seed_pairs, synthetic, entities = reweight_data
+        model, reweighter = make_reweighter(tiny_tokenizer, entities)
+        model.train()  # training mode on purpose: probes must neutralise it
+        seed_grad = reweighter.seed_gradient(seed_pairs[:8])
+        batch = synthetic[:10]
+        exact = reweighter.per_example_gradient_dots(batch, seed_grad)
+        jvp = reweighter.jvp_gradient_dots(batch, seed_grad)
+        scale = np.abs(exact).max()
+        assert scale > 0
+        assert np.abs(jvp - exact).max() <= 0.1 * scale
+        assert np.corrcoef(exact, jvp)[0, 1] > 0.99
+
+    def test_deterministic_under_dropout(self, reweight_data, tiny_tokenizer):
+        """Two JVP evaluations must agree exactly — no fresh dropout masks."""
+        seed_pairs, synthetic, entities = reweight_data
+        model, reweighter = make_reweighter(tiny_tokenizer, entities)
+        model.train()
+        seed_grad = reweighter.seed_gradient(seed_pairs[:8])
+        first = reweighter.jvp_gradient_dots(synthetic[:6], seed_grad)
+        second = reweighter.jvp_gradient_dots(synthetic[:6], seed_grad)
+        assert np.array_equal(first, second)
+
+    def test_unit_direction_keeps_large_gradients_linear(self, reweight_data, tiny_tokenizer):
+        """Scaling the seed gradient by 1e3 must scale the dots by exactly 1e3.
+
+        The unnormalised estimator stepped ``ε·g``, so a large ‖g‖ pushed the
+        probe outside the linear regime; the unit-direction step makes the
+        estimate exactly homogeneous in ‖g‖.
+        """
+        seed_pairs, synthetic, entities = reweight_data
+        model, reweighter = make_reweighter(tiny_tokenizer, entities)
+        seed_grad = reweighter.seed_gradient(seed_pairs[:8])
+        base = reweighter.jvp_gradient_dots(synthetic[:6], seed_grad)
+        scaled = reweighter.jvp_gradient_dots(synthetic[:6], 1e3 * seed_grad)
+        assert np.allclose(scaled, 1e3 * base, rtol=1e-9)
+
+    def test_parameters_and_mode_restored(self, reweight_data, tiny_tokenizer):
+        seed_pairs, synthetic, entities = reweight_data
+        model, reweighter = make_reweighter(tiny_tokenizer, entities)
+        model.train()
+        before = model.flatten_parameters()
+        seed_grad = reweighter.seed_gradient(seed_pairs[:8])
+        reweighter.jvp_gradient_dots(synthetic[:6], seed_grad)
+        assert np.array_equal(before, model.flatten_parameters())
+        assert model.training
+
+    def test_zero_seed_gradient_short_circuits(self, reweight_data, tiny_tokenizer):
+        _, synthetic, entities = reweight_data
+        model, reweighter = make_reweighter(tiny_tokenizer, entities)
+        dots = reweighter.jvp_gradient_dots(synthetic[:5], np.zeros(model.num_parameters()))
+        assert np.array_equal(dots, np.zeros(5))
