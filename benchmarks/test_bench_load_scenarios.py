@@ -1,0 +1,147 @@
+"""Load-scenario lab: drive the LinkingService through the standard catalogue.
+
+Runs the five catalogue scenarios — steady Poisson, on/off burst, linear
+ramp, Zipf-skewed worlds (all open-loop against a seeded arrival schedule)
+and a completion-paced closed loop — against a small serving stack, with
+the :class:`repro.bench.LoadHarness` sampling queue depth and collecting
+per-request latency, per-world accuracy and error counts.  Every scenario
+is evaluated against a lab SLO and the results land in ``BENCH_load.json``
+at the repo root, next to the serving/decode/meta benchmark payloads.
+
+The second test demonstrates the regression gate the payload exists for:
+the fresh run passes against itself while a deliberately degraded copy
+(3x latency, third of the throughput) fails.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_load_scenarios.py -q -s
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    LoadHarness,
+    SLOSpec,
+    attach_slo,
+    compare,
+    mentions_by_world,
+    render_markdown,
+    results_payload,
+    scenario_catalogue,
+    write_json,
+)
+from repro.data import generate_corpus, split_domain
+from repro.data.worlds import TEST_DOMAINS
+from repro.generation import build_tokenizer_for_corpus
+from repro.linking import BlinkPipeline
+from repro.serving import EntityLinkingPipeline, LinkingService
+from repro.utils.config import BiEncoderConfig, CorpusConfig, CrossEncoderConfig, EncoderConfig
+
+SEED = 13
+DURATION = 2.0
+RATE = 150.0
+BATCH_SIZE = 32
+MAX_WAIT_MS = 25.0
+K = 4
+
+#: Generous lab bounds: the gate must be honest on shared CI runners, so the
+#: SLO asserts sanity (sub-2s tails, no drops), not peak hardware numbers.
+LAB_SLO = SLOSpec(name="lab", max_p99_ms=2000.0, min_throughput=RATE / 4.0,
+                  max_error_rate=0.0, min_accuracy=0.0)
+CLOSED_SLO = SLOSpec(name="lab-closed", max_p99_ms=2000.0, min_throughput=1.0,
+                     max_error_rate=0.0, min_accuracy=0.0)
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_load.json"
+
+
+@pytest.fixture(scope="module")
+def load_results():
+    corpus = generate_corpus(CorpusConfig(
+        entities_per_domain=24, mentions_per_domain=120, seed=SEED
+    ))
+    tokenizer = build_tokenizer_for_corpus(corpus, max_length=16)
+    encoder = EncoderConfig(model_dim=16, num_layers=1, num_heads=2,
+                            hidden_dim=32, max_length=16)
+    blink = BlinkPipeline(
+        tokenizer,
+        BiEncoderConfig(encoder=encoder),
+        CrossEncoderConfig(encoder=encoder, num_candidates=K),
+    )
+    worlds = list(TEST_DOMAINS)
+    entities = [e for world in worlds for e in corpus.entities(world)]
+    pools = mentions_by_world(
+        m
+        for world in worlds
+        for m in split_domain(corpus, world, seed_size=30, dev_size=20).test
+    )
+    index = blink.biencoder.build_sharded_index(entities, lazy=False)
+    pipeline = EntityLinkingPipeline(
+        blink.biencoder, index, blink.crossencoder, k=K, batch_size=BATCH_SIZE
+    )
+    pipeline.link(pools[worlds[0]][:BATCH_SIZE])  # warm caches before timing
+
+    catalogue = scenario_catalogue(pools, seed=SEED, duration=DURATION, rate=RATE)
+    results = []
+    with LinkingService(pipeline, max_batch_size=BATCH_SIZE,
+                        max_wait_ms=MAX_WAIT_MS) as service:
+        service.warm_up()
+        harness = LoadHarness(service)
+        for name, workload in catalogue.items():
+            result = harness.run(workload)
+            spec = CLOSED_SLO if result.kind == "closed" else LAB_SLO
+            attach_slo(result, spec.evaluate(result))
+            results.append(result)
+    return results
+
+
+def test_load_scenarios_meet_lab_slos(load_results):
+    assert len(load_results) >= 4
+    print()
+    print(render_markdown(load_results, title="Load scenario lab"))
+
+    config = {
+        "duration": DURATION, "rate": RATE, "seed": SEED, "k": K,
+        "rerank": True, "batch_size": BATCH_SIZE, "max_wait_ms": MAX_WAIT_MS,
+        "entities_per_domain": 24, "mentions_per_domain": 120,
+    }
+    write_json(load_results, BENCH_OUTPUT, config=config)
+    print(f"  wrote {BENCH_OUTPUT.name}")
+
+    for result in load_results:
+        # Every scenario reports the full measurement surface ...
+        assert result.requests > 0 and result.completed > 0
+        assert result.throughput > 0
+        for key in ("p50", "p90", "p99"):
+            assert result.latency_ms[key] > 0
+        assert result.queue_depth["peak"] >= 1
+        assert result.slo is not None and result.slo["checks"]
+        # ... and holds the lab SLO.
+        assert result.slo["passed"], (
+            f"{result.scenario} violated its SLO: "
+            f"{[c for c in result.slo['checks'] if not c['passed']]}"
+        )
+    # Open-loop scenarios track their seeded offered load: every generated
+    # arrival was submitted and completed (no drops at these rates).
+    for result in load_results:
+        assert result.completed == result.requests
+
+
+def test_regression_gate_on_fresh_payload(load_results):
+    """The run passes its own gate; a degraded copy fails it."""
+    payload = results_payload(load_results)
+    self_report = compare(payload, payload, rtol=0.1)
+    assert self_report.passed, self_report.summary()
+
+    degraded = json.loads(json.dumps(payload))
+    for scenario in degraded["scenarios"].values():
+        scenario["throughput"] /= 3.0
+        for key in ("p50", "p90", "p99", "mean", "max"):
+            scenario["latency_ms"][key] *= 3.0
+    gate = compare(degraded, payload, rtol=0.25)
+    assert not gate.passed
+    assert len(gate.regressions) >= 2 * len(load_results)
+    print()
+    print(gate.summary())

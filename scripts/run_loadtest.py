@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Run load scenarios against a LinkingService and report SLO verdicts.
+
+Builds a small synthetic serving stack (corpus → bi/cross-encoder →
+sharded index → dynamic-batching service), replays one or more scenarios
+from the standard catalogue through the :class:`repro.bench.LoadHarness`,
+evaluates each result against an SLO spec, prints the Markdown scenario
+report and writes the machine-readable payload (the ``BENCH_load.json``
+shape).  With ``--baseline`` the fresh run is additionally gated against a
+committed payload and the exit code reflects the verdict.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_loadtest.py                        # all scenarios
+    PYTHONPATH=src python scripts/run_loadtest.py --scenario burst ramp \
+        --duration 2.0 --rate 200 --seed 7 --output BENCH_load.json
+    PYTHONPATH=src python scripts/run_loadtest.py --slo slo.json \
+        --baseline BENCH_load.json --rtol 0.3
+
+Exit status: 0 when every SLO and the optional regression gate pass,
+1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import (  # noqa: E402 - path bootstrap above
+    LoadHarness,
+    SLOSpec,
+    attach_slo,
+    compare,
+    load_bench,
+    load_slo_file,
+    render_markdown,
+    results_payload,
+    scenario_catalogue,
+    write_json,
+)
+from repro.data import generate_corpus, split_domain  # noqa: E402
+from repro.data.worlds import TEST_DOMAINS  # noqa: E402
+from repro.generation import build_tokenizer_for_corpus  # noqa: E402
+from repro.linking import BlinkPipeline  # noqa: E402
+from repro.serving import EntityLinkingPipeline, LinkingService  # noqa: E402
+from repro.utils.config import (  # noqa: E402
+    BiEncoderConfig,
+    CorpusConfig,
+    CrossEncoderConfig,
+    EncoderConfig,
+)
+
+#: Default generous lab SLO: correctness of the gate matters more than the
+#: absolute numbers on a developer laptop.
+DEFAULT_SLO = SLOSpec(name="lab-default", max_p99_ms=2000.0,
+                      min_throughput=1.0, max_error_rate=0.0)
+
+
+def build_service(args: argparse.Namespace):
+    """Small serving stack + per-world mention pools for the samplers."""
+    corpus = generate_corpus(CorpusConfig(
+        entities_per_domain=args.entities_per_domain,
+        mentions_per_domain=args.mentions_per_domain,
+        seed=args.seed,
+    ))
+    tokenizer = build_tokenizer_for_corpus(corpus, max_length=16)
+    encoder = EncoderConfig(model_dim=16, num_layers=1, num_heads=2,
+                            hidden_dim=32, max_length=16)
+    blink = BlinkPipeline(
+        tokenizer,
+        BiEncoderConfig(encoder=encoder),
+        CrossEncoderConfig(encoder=encoder, num_candidates=args.k),
+    )
+    worlds = list(TEST_DOMAINS)
+    entities = [e for world in worlds for e in corpus.entities(world)]
+    pools = {
+        world: split_domain(corpus, world, seed_size=30, dev_size=20).test
+        for world in worlds
+    }
+    index = blink.biencoder.build_sharded_index(entities, lazy=False)
+    pipeline = EntityLinkingPipeline(
+        blink.biencoder, index, blink.crossencoder,
+        k=args.k, rerank=not args.no_rerank, batch_size=args.batch_size,
+    )
+    service = LinkingService(
+        pipeline, max_batch_size=args.batch_size, max_wait_ms=args.max_wait_ms
+    )
+    return service, pools
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", nargs="*", default=None,
+                        help="scenario names from the catalogue (default: all); "
+                             "choices: steady_poisson burst ramp zipf_worlds closed_loop")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="seconds of traffic per open-loop scenario")
+    parser.add_argument("--rate", type=float, default=150.0,
+                        help="base arrival rate (requests/second)")
+    parser.add_argument("--seed", type=int, default=13,
+                        help="workload + corpus seed (same seed => same schedule)")
+    parser.add_argument("--num-clients", type=int, default=8,
+                        help="closed-loop client count")
+    parser.add_argument("--slo", type=Path, default=None,
+                        help="JSON SLO spec (one object, or {scenario: spec})")
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_load.json",
+                        help="where to write the machine-readable payload")
+    parser.add_argument("--markdown", type=Path, default=None,
+                        help="also write the Markdown report to this path")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="gate the run against this committed BENCH payload")
+    parser.add_argument("--rtol", type=float, default=0.25,
+                        help="relative tolerance of the regression gate")
+    parser.add_argument("--atol", type=float, default=0.05,
+                        help="absolute slack of the gate (near-zero baselines)")
+    parser.add_argument("--k", type=int, default=4, help="candidates per mention")
+    parser.add_argument("--no-rerank", action="store_true",
+                        help="skip the cross-encoder stage")
+    parser.add_argument("--batch-size", type=int, default=32,
+                        help="service max_batch_size (and pipeline micro-batch)")
+    parser.add_argument("--max-wait-ms", type=float, default=25.0,
+                        help="service latency-bound flush timer")
+    parser.add_argument("--entities-per-domain", type=int, default=24)
+    parser.add_argument("--mentions-per-domain", type=int, default=120)
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        help="per-request completion budget before cancel")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    service, pools = build_service(args)
+    catalogue = scenario_catalogue(
+        pools, seed=args.seed, duration=args.duration, rate=args.rate,
+        num_clients=args.num_clients,
+    )
+    names = args.scenario or list(catalogue)
+    unknown = sorted(set(names) - set(catalogue))
+    if unknown:
+        raise SystemExit(
+            f"unknown scenario(s) {', '.join(unknown)}; "
+            f"known: {', '.join(catalogue)}"
+        )
+    specs = load_slo_file(args.slo) if args.slo else {"*": DEFAULT_SLO}
+
+    results = []
+    with service:
+        service.warm_up()
+        harness = LoadHarness(service, request_timeout=args.request_timeout)
+        for name in names:
+            print(f"running {name} ...", flush=True)
+            result = harness.run(catalogue[name])
+            spec = specs.get(name, specs.get("*", DEFAULT_SLO))
+            attach_slo(result, spec.evaluate(result))
+            results.append(result)
+
+    config = {
+        "duration": args.duration, "rate": args.rate, "seed": args.seed,
+        "k": args.k, "rerank": not args.no_rerank,
+        "batch_size": args.batch_size, "max_wait_ms": args.max_wait_ms,
+        "entities_per_domain": args.entities_per_domain,
+        "mentions_per_domain": args.mentions_per_domain,
+    }
+    payload = results_payload(results, config=config)
+    write_json(results, args.output, config=config)
+    markdown = render_markdown(results)
+    if args.markdown:
+        args.markdown.write_text(markdown)
+    print()
+    print(markdown)
+    print(f"wrote {args.output}")
+
+    ok = all(result.slo is None or result.slo.get("passed") for result in results)
+    if args.baseline:
+        baseline = load_bench(args.baseline)
+        if isinstance(baseline.get("scenarios"), dict):
+            # A partial run gates only the scenarios it actually replayed.
+            baseline = {
+                **baseline,
+                "scenarios": {
+                    name: metrics
+                    for name, metrics in baseline["scenarios"].items()
+                    if name in payload["scenarios"]
+                },
+            }
+        report = compare(payload, baseline, rtol=args.rtol, atol=args.atol)
+        print(report.summary())
+        ok = ok and report.passed
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

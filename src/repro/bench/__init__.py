@@ -1,0 +1,76 @@
+"""The serving load lab: workloads, harness, SLOs, reports, regression gate.
+
+``repro.bench`` sits between the serving frontend
+(:class:`~repro.serving.service.LinkingService`) and the eval/reporting
+stack: it generates deterministic traffic, replays it against the service,
+evaluates the measurements against declarative SLOs, and gates fresh
+benchmark payloads against the committed ``BENCH_*.json`` baselines.
+
+Quick tour::
+
+    pools = mentions_by_world(test_mentions)
+    workload = scenario_catalogue(pools, seed=13)["steady_poisson"]
+    result = LoadHarness(service).run(workload)
+    attach_slo(result, SLOSpec(max_p99_ms=500.0).evaluate(result))
+    print(render_markdown([result]))
+    compare(results_payload([result]), load_bench("BENCH_load.json")).passed
+"""
+
+from .baselines import (
+    BENCH_FILES,
+    ComparisonReport,
+    MetricCheck,
+    compare,
+    flatten_metrics,
+    load_all_baselines,
+    load_bench,
+    metric_direction,
+)
+from .harness import LoadHarness, ScenarioResult
+from .report import attach_slo, render_markdown, results_payload, write_json
+from .slo import SLOCheck, SLOReport, SLOSpec, load_slo_file
+from .workloads import (
+    BurstyArrivals,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    Schedule,
+    TraceReplaySampler,
+    UniformMentionSampler,
+    Workload,
+    ZipfMentionSampler,
+    mentions_by_world,
+    scenario_catalogue,
+)
+
+__all__ = [
+    "BENCH_FILES",
+    "BurstyArrivals",
+    "ClosedLoopArrivals",
+    "ComparisonReport",
+    "LoadHarness",
+    "MetricCheck",
+    "PoissonArrivals",
+    "RampArrivals",
+    "Schedule",
+    "ScenarioResult",
+    "SLOCheck",
+    "SLOReport",
+    "SLOSpec",
+    "TraceReplaySampler",
+    "UniformMentionSampler",
+    "Workload",
+    "ZipfMentionSampler",
+    "attach_slo",
+    "compare",
+    "flatten_metrics",
+    "load_all_baselines",
+    "load_bench",
+    "load_slo_file",
+    "mentions_by_world",
+    "metric_direction",
+    "render_markdown",
+    "results_payload",
+    "scenario_catalogue",
+    "write_json",
+]

@@ -1,0 +1,236 @@
+"""Tolerance-based regression gating over the ``BENCH_*.json`` payloads.
+
+The repo writes four machine-readable benchmark files — serving, decode,
+meta-training and the load lab — but until now nothing ever *compared* a
+fresh run against a committed baseline, so perf regressions were invisible
+unless a hard-coded speedup assertion happened to trip.  :func:`compare`
+closes that loop: it flattens both payloads to dotted metric keys, infers
+which direction is "better" for each metric from its name (throughputs up,
+latencies down), and fails any metric that moved the wrong way by more than
+the relative tolerance ``rtol``.
+
+Config blocks (``config.*``) and structural counters are informational and
+never gated; a metric present in the baseline but missing from the current
+payload is reported as a regression (a silently dropped measurement must
+not pass the gate).
+
+Example::
+
+    baseline = load_bench("BENCH_load.json")
+    report = compare(current_payload, baseline, rtol=0.25)
+    assert report.passed, report.summary()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+#: Canonical benchmark files at the repo root, in gate order.
+BENCH_FILES = (
+    "BENCH_serving.json",
+    "BENCH_decode.json",
+    "BENCH_meta.json",
+    "BENCH_load.json",
+)
+
+#: Key substrings marking a metric where *smaller* is better.
+LOWER_IS_BETTER = (
+    "latency", "_ms", "seconds", "queue_depth", "error", "timeout",
+)
+
+#: Key substrings marking a metric where *larger* is better.
+HIGHER_IS_BETTER = (
+    "per_second", "throughput", "accuracy", "_vs_", "speedup", "completed",
+)
+
+#: Key substrings that are never gated: configuration, sample counts, ids,
+#: and the per-world accuracy breakdown (tiny per-world counts make a
+#: relative tolerance meaningless; the overall accuracy is gated instead).
+UNGATED = (
+    "config.", ".seed", ".count", ".samples", ".requests", "repeats",
+    ".per_world.",
+)
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+    """Load one ``BENCH_*.json`` payload."""
+    return json.loads(Path(path).read_text())
+
+
+def load_all_baselines(root: Union[str, Path] = ".") -> Dict[str, Dict[str, object]]:
+    """All committed benchmark payloads under ``root`` keyed by file name.
+
+    Missing files are skipped — a fresh checkout gates only what exists.
+    """
+    root = Path(root)
+    found = {}
+    for name in BENCH_FILES:
+        path = root / name
+        if path.exists():
+            found[name] = load_bench(path)
+    return found
+
+
+def flatten_metrics(payload: Mapping[str, object], prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested payload as ``dotted.key -> float``.
+
+    Booleans (SLO verdicts) and strings are skipped; lists are indexed.
+    """
+    flat: Dict[str, float] = {}
+    for key, value in payload.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[dotted] = float(value)
+        elif isinstance(value, Mapping):
+            flat.update(flatten_metrics(value, prefix=f"{dotted}."))
+        elif isinstance(value, (list, tuple)):
+            for index, item in enumerate(value):
+                if isinstance(item, Mapping):
+                    flat.update(flatten_metrics(item, prefix=f"{dotted}[{index}]."))
+                elif isinstance(item, (int, float)) and not isinstance(item, bool):
+                    flat[f"{dotted}[{index}]"] = float(item)
+    return flat
+
+
+def metric_direction(key: str) -> Optional[str]:
+    """``"higher"`` / ``"lower"`` / None (ungated) for a dotted metric key."""
+    lowered = key.lower()
+    if any(token in lowered for token in UNGATED):
+        return None
+    if any(token in lowered for token in HIGHER_IS_BETTER):
+        return "higher"
+    if any(token in lowered for token in LOWER_IS_BETTER):
+        return "lower"
+    return None
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One gated metric: current vs baseline under the tolerance."""
+
+    metric: str
+    direction: str
+    baseline: float
+    current: float
+    ratio: float  # current / baseline (inf when baseline == 0)
+    passed: bool
+
+    def describe(self) -> str:
+        arrow = "↑ok" if self.direction == "higher" else "↓ok"
+        verdict = "pass" if self.passed else "REGRESSED"
+        return (
+            f"{self.metric} [{arrow}]: baseline={self.baseline:.4g} "
+            f"current={self.current:.4g} ratio={self.ratio:.3f} -> {verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Outcome of gating one payload against one baseline."""
+
+    checks: Tuple[MetricCheck, ...]
+    missing: Tuple[str, ...]
+    rtol: float
+
+    @property
+    def regressions(self) -> Tuple[MetricCheck, ...]:
+        return tuple(check for check in self.checks if not check.passed)
+
+    @property
+    def improvements(self) -> Tuple[MetricCheck, ...]:
+        """Gated metrics that moved in the good direction beyond rtol."""
+        out = []
+        for check in self.checks:
+            if check.direction == "higher" and check.ratio > 1.0 + self.rtol:
+                out.append(check)
+            elif check.direction == "lower" and check.ratio < 1.0 - self.rtol:
+                out.append(check)
+        return tuple(out)
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def summary(self) -> str:
+        lines = [
+            f"regression gate (rtol={self.rtol}): "
+            f"{len(self.checks)} metrics gated, "
+            f"{len(self.regressions)} regressed, {len(self.missing)} missing "
+            f"-> {'PASS' if self.passed else 'FAIL'}"
+        ]
+        for check in self.regressions:
+            lines.append(f"  {check.describe()}")
+        for metric in self.missing:
+            lines.append(f"  {metric}: present in baseline, missing from current run")
+        return "\n".join(lines)
+
+
+def compare(
+    current: Mapping[str, object],
+    baseline: Mapping[str, object],
+    rtol: float = 0.25,
+    atol: float = 0.0,
+    directions: Optional[Mapping[str, str]] = None,
+) -> ComparisonReport:
+    """Gate a fresh benchmark payload against a committed baseline.
+
+    A "higher is better" metric passes when ``current >= baseline * (1 -
+    rtol)``; a "lower is better" metric when ``current <= baseline * (1 +
+    rtol)``.  ``atol`` adds absolute slack on top: any metric within
+    ``atol`` of its baseline passes regardless of the ratio, which keeps
+    near-zero baselines (e.g. a 0.003 accuracy) from failing on noise a
+    relative tolerance cannot express.  ``directions`` overrides (or adds
+    to) the name-based direction inference per dotted key; map a key to
+    ``None``/"skip" to exclude it.  Only metrics present in the *baseline*
+    are gated — new metrics in the current run pass freely until they are
+    committed.
+    """
+    if rtol < 0:
+        raise ValueError("rtol must be non-negative")
+    if atol < 0:
+        raise ValueError("atol must be non-negative")
+    current_flat = flatten_metrics(current)
+    baseline_flat = flatten_metrics(baseline)
+
+    checks: List[MetricCheck] = []
+    missing: List[str] = []
+    for key, base_value in sorted(baseline_flat.items()):
+        if directions is not None and key in directions:
+            direction = directions[key]
+            if direction in (None, "skip"):
+                continue
+            if direction not in ("higher", "lower"):
+                raise ValueError(
+                    f"direction for {key!r} must be 'higher', 'lower' or 'skip'"
+                )
+        else:
+            direction = metric_direction(key)
+        if direction is None:
+            continue
+        if key not in current_flat:
+            missing.append(key)
+            continue
+        value = current_flat[key]
+        within_atol = abs(value - base_value) <= atol
+        if base_value == 0.0:
+            # Nothing to scale a tolerance against: a zero baseline (e.g. an
+            # error count) passes only while the current value is also
+            # "no worse", i.e. <= 0 for lower-is-better metrics.
+            passed = value >= 0.0 if direction == "higher" else within_atol or value <= 0.0
+            ratio = float("inf") if value else 1.0
+        elif direction == "higher":
+            ratio = value / base_value
+            passed = within_atol or ratio >= 1.0 - rtol
+        else:
+            ratio = value / base_value
+            passed = within_atol or ratio <= 1.0 + rtol
+        checks.append(MetricCheck(
+            metric=key, direction=direction, baseline=base_value,
+            current=value, ratio=ratio, passed=passed,
+        ))
+    return ComparisonReport(checks=tuple(checks), missing=tuple(missing), rtol=rtol)

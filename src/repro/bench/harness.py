@@ -1,0 +1,403 @@
+"""SLO-tracked load harness: drive a :class:`LinkingService` from a schedule.
+
+:class:`LoadHarness` replays a :class:`~repro.bench.workloads.Schedule`
+against the dynamic-batching frontend and measures what the serving stack
+actually did under that traffic:
+
+* **per-request latency** — submit → completion, captured with a done
+  callback so the measurement does not depend on the drain order;
+* **queue depth** — ``service.pending`` sampled on a background ticker plus
+  the service's exact :attr:`~repro.serving.service.LinkingService.peak_pending`
+  high-watermark;
+* **per-world accuracy** — completed results grouped by mention domain;
+* **errors and timeouts** — pipeline exceptions vs requests abandoned after
+  ``request_timeout`` (abandoned futures are cancelled so they release
+  their batch slot).
+
+Open-loop schedules are paced by their precomputed arrival offsets — the
+harness never waits for a response before submitting the next request, so
+queueing dynamics are observable.  Closed-loop schedules run
+``num_clients`` synchronous client threads, each submitting its next
+mention as soon as the previous one completes.
+
+Example::
+
+    harness = LoadHarness(service, tick_interval=0.005)
+    result = harness.run(workload)          # ScenarioResult
+    result.throughput, result.latency_ms["p99"], result.queue_depth["peak"]
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..kb.entity import Mention
+from ..serving.pipeline import LinkingResult
+from ..serving.service import LinkingService
+from .workloads import CLOSED_LOOP, Schedule, Workload
+
+#: Default interval of the queue-depth sampling ticker (seconds).
+DEFAULT_TICK_INTERVAL = 0.005
+
+#: Default per-request completion budget, measured from each request's own
+#: submission; generous because micro-batches complete in bulk.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one load scenario produced, ready for SLO evaluation.
+
+    ``latency_ms`` holds ``count/mean/max/p50/p90/p99`` over *completed*
+    requests; ``queue_depth`` holds the sampled ``max/mean/samples`` plus
+    the service's exact ``peak``; ``accuracy`` has the overall fraction and
+    a per-world breakdown (``{world: {correct, total, accuracy}}``).
+    """
+
+    scenario: str
+    kind: str
+    seed: Optional[int]
+    requests: int
+    completed: int
+    errors: int
+    timeouts: int
+    wall_seconds: float
+    throughput: float
+    latency_ms: Dict[str, float]
+    queue_depth: Dict[str, float]
+    accuracy: Dict[str, object]
+    slo: Optional[Dict[str, object]] = None
+
+    @property
+    def error_rate(self) -> float:
+        """Failed or abandoned requests as a fraction of all submitted."""
+        if self.requests == 0:
+            return 0.0
+        return (self.errors + self.timeouts) / self.requests
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "scenario": self.scenario,
+            "kind": self.kind,
+            "seed": self.seed,
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "error_rate": round(self.error_rate, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput": round(self.throughput, 3),
+            "latency_ms": {k: round(v, 3) for k, v in self.latency_ms.items()},
+            "queue_depth": {k: round(float(v), 3) for k, v in self.queue_depth.items()},
+            "accuracy": self.accuracy,
+        }
+        if self.slo is not None:
+            payload["slo"] = self.slo
+        return payload
+
+
+@dataclass
+class _RequestRecord:
+    """Book-keeping for one submitted request."""
+
+    mention: Mention
+    future: "Future[LinkingResult]"
+    submitted_at: float
+    done_at: Optional[float] = None
+    result: Optional[LinkingResult] = None
+    failed: bool = False
+    timed_out: bool = False
+
+
+class _QueueDepthTicker:
+    """Background sampler of ``service.pending`` at a fixed interval."""
+
+    def __init__(self, service: LinkingService, interval: float) -> None:
+        self._service = service
+        self._interval = interval
+        self._samples: List[int] = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="load-harness-ticker", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._samples.append(self._service.pending)
+            self._stop.wait(self._interval)
+
+    def __enter__(self) -> "_QueueDepthTicker":
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def summary(self) -> Dict[str, float]:
+        samples = np.asarray(self._samples, dtype=np.float64)
+        if samples.size == 0:
+            return {"max": 0.0, "mean": 0.0, "samples": 0.0}
+        return {
+            "max": float(samples.max()),
+            "mean": float(samples.mean()),
+            "samples": float(samples.size),
+        }
+
+
+class LoadHarness:
+    """Drive one scenario at a time against a running :class:`LinkingService`.
+
+    Parameters
+    ----------
+    service:
+        A started service; the harness does not own its lifecycle.
+    tick_interval:
+        Queue-depth sampling period of the background ticker (seconds).
+    request_timeout:
+        Per-request completion budget.  Requests still pending after it are
+        cancelled (releasing their batch slot) and counted as timeouts.
+    reset_stats:
+        Reset the pipeline's :class:`~repro.serving.pipeline.PipelineStats`
+        before each run so scenario latency windows do not bleed together.
+    """
+
+    def __init__(
+        self,
+        service: LinkingService,
+        tick_interval: float = DEFAULT_TICK_INTERVAL,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        reset_stats: bool = True,
+    ) -> None:
+        if tick_interval <= 0:
+            raise ValueError("tick_interval must be positive")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        self.service = service
+        self.tick_interval = tick_interval
+        self.request_timeout = request_timeout
+        self.reset_stats = reset_stats
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self, workload: Union[Workload, Schedule], name: Optional[str] = None
+    ) -> ScenarioResult:
+        """Replay one workload/schedule and collect a :class:`ScenarioResult`."""
+        if isinstance(workload, Workload):
+            schedule = workload.schedule()
+            scenario = name or workload.name or type(workload.arrivals).__name__
+            seed: Optional[int] = workload.seed
+        else:
+            schedule = workload
+            scenario = name or "schedule"
+            seed = None
+        if len(schedule) == 0:
+            raise ValueError("cannot run an empty schedule")
+        if not self.service.running:
+            raise RuntimeError("LinkingService is not running")
+
+        if self.reset_stats:
+            self.service.stats.reset()
+        self.service.reset_peak_pending()
+
+        with _QueueDepthTicker(self.service, self.tick_interval) as ticker:
+            started = time.perf_counter()
+            if schedule.kind == CLOSED_LOOP:
+                records = self._drive_closed_loop(schedule)
+            else:
+                records = self._drive_open_loop(schedule)
+            self._drain(records)
+            wall_seconds = self._wall_seconds(records, started)
+        queue_depth = ticker.summary()
+        queue_depth["peak"] = float(self.service.peak_pending)
+
+        return self._summarise(
+            scenario, schedule, seed, records, wall_seconds, queue_depth
+        )
+
+    # ------------------------------------------------------------------
+    # Drivers
+    # ------------------------------------------------------------------
+    def _submit(self, mention: Mention) -> _RequestRecord:
+        submitted_at = time.perf_counter()
+        future = self.service.submit(mention)
+        record = _RequestRecord(
+            mention=mention, future=future, submitted_at=submitted_at
+        )
+        # Completion time is captured in the callback (scheduler thread), so
+        # latency does not include the harness's own drain ordering.
+        future.add_done_callback(
+            lambda _f, r=record: setattr(r, "done_at", time.perf_counter())
+        )
+        return record
+
+    def _drive_open_loop(self, schedule: Schedule) -> List[_RequestRecord]:
+        """Submit on the precomputed timetable, never waiting on responses.
+
+        A slow service makes the driver fall behind the timetable; it then
+        submits as fast as it can (the backlog shows up as queue depth and
+        latency, which is exactly the signal an open-loop test exists for).
+        """
+        records: List[_RequestRecord] = []
+        start = time.perf_counter()
+        for offset, mention in zip(schedule.offsets, schedule.mentions):
+            delay = float(offset) - (time.perf_counter() - start)
+            if delay > 0:
+                time.sleep(delay)
+            records.append(self._submit(mention))
+        return records
+
+    def _drive_closed_loop(self, schedule: Schedule) -> List[_RequestRecord]:
+        """``num_clients`` threads, each submit → wait → next mention."""
+        clients = max(1, schedule.num_clients)
+        cursor = {"next": 0}
+        cursor_lock = threading.Lock()
+        records: List[Optional[_RequestRecord]] = [None] * len(schedule)
+
+        def client() -> None:
+            while True:
+                with cursor_lock:
+                    index = cursor["next"]
+                    if index >= len(schedule):
+                        return
+                    cursor["next"] = index + 1
+                try:
+                    record = self._submit(schedule.mentions[index])
+                except Exception as error:
+                    # Submit-time failure (e.g. the service closed mid-run):
+                    # keep an honest record so the drop shows up as an error
+                    # instead of a silently shorter result set.
+                    failed: "Future[LinkingResult]" = Future()
+                    failed.set_exception(error)
+                    record = _RequestRecord(
+                        mention=schedule.mentions[index],
+                        future=failed,
+                        submitted_at=time.perf_counter(),
+                    )
+                records[index] = record
+                try:
+                    record.future.result(timeout=self.request_timeout)
+                except Exception:
+                    pass  # classified uniformly in _drain
+        threads = [
+            threading.Thread(target=client, name=f"load-client-{i}", daemon=True)
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=self.request_timeout * len(schedule))
+        return [record for record in records if record is not None]
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _drain(self, records: List[_RequestRecord]) -> None:
+        """Resolve every future into result / error / timeout.
+
+        Each request gets its *own* ``request_timeout`` budget measured
+        from its submission — a long drain of a large schedule must not
+        eat into the budget of requests submitted later.
+        """
+        for record in records:
+            deadline = record.submitted_at + self.request_timeout
+            remaining = max(deadline - time.perf_counter(), 0.001)
+            try:
+                record.result = record.future.result(timeout=remaining)
+                # Future.result() can return before the done callback has
+                # stamped done_at (waiters are notified first); fall back to
+                # now so no completed request drops out of the latency set.
+                if record.done_at is None:
+                    record.done_at = time.perf_counter()
+            except FutureTimeoutError:
+                # Cancel so an abandoned request stops consuming a batch
+                # slot; if the flush already picked it up the cancel is a
+                # no-op and we still classify the request as timed out.
+                record.future.cancel()
+                record.timed_out = True
+            except CancelledError:
+                record.timed_out = True
+            except Exception:
+                record.failed = True
+
+    @staticmethod
+    def _wall_seconds(records: List[_RequestRecord], started: float) -> float:
+        last_done = max(
+            (record.done_at for record in records if record.done_at is not None),
+            default=time.perf_counter(),
+        )
+        return max(last_done - started, 1e-9)
+
+    def _summarise(
+        self,
+        scenario: str,
+        schedule: Schedule,
+        seed: Optional[int],
+        records: List[_RequestRecord],
+        wall_seconds: float,
+        queue_depth: Dict[str, float],
+    ) -> ScenarioResult:
+        completed = [r for r in records if r.result is not None]
+        errors = sum(1 for r in records if r.failed)
+        timeouts = sum(1 for r in records if r.timed_out)
+
+        latencies = np.asarray(
+            [
+                (r.done_at - r.submitted_at) * 1000.0
+                for r in completed
+                if r.done_at is not None
+            ],
+            dtype=np.float64,
+        )
+        if latencies.size:
+            p50, p90, p99 = np.percentile(latencies, [50.0, 90.0, 99.0])
+            latency_ms = {
+                "count": float(latencies.size),
+                "mean": float(latencies.mean()),
+                "max": float(latencies.max()),
+                "p50": float(p50),
+                "p90": float(p90),
+                "p99": float(p99),
+            }
+        else:
+            latency_ms = {k: 0.0 for k in ("count", "mean", "max", "p50", "p90", "p99")}
+
+        per_world: Dict[str, Dict[str, float]] = {}
+        for record in completed:
+            world = record.mention.domain
+            bucket = per_world.setdefault(world, {"correct": 0, "total": 0})
+            bucket["total"] += 1
+            if record.result.correct:
+                bucket["correct"] += 1
+        for bucket in per_world.values():
+            bucket["accuracy"] = round(bucket["correct"] / bucket["total"], 4)
+        total = sum(bucket["total"] for bucket in per_world.values())
+        correct = sum(bucket["correct"] for bucket in per_world.values())
+        accuracy: Dict[str, object] = {
+            "overall": round(correct / total, 4) if total else 0.0,
+            "per_world": dict(sorted(per_world.items())),
+        }
+
+        return ScenarioResult(
+            scenario=scenario,
+            kind=schedule.kind,
+            seed=seed,
+            requests=len(records),
+            completed=len(completed),
+            errors=errors,
+            timeouts=timeouts,
+            wall_seconds=wall_seconds,
+            throughput=len(completed) / wall_seconds,
+            latency_ms=latency_ms,
+            queue_depth=queue_depth,
+            accuracy=accuracy,
+        )

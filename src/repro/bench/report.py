@@ -1,0 +1,123 @@
+"""Scenario reporting: the ``BENCH_load.json`` payload and Markdown views.
+
+The JSON payload mirrors the other ``BENCH_*.json`` files at the repo root
+(a ``benchmark`` tag, a ``config`` block, then the measured numbers) so the
+:mod:`~repro.bench.baselines` regression gate can treat all four uniformly.
+The Markdown report is the human view: one summary table across scenarios,
+then per-scenario SLO verdict tables.
+
+Example::
+
+    payload = results_payload(results, config={"rate": 150.0})
+    Path("BENCH_load.json").write_text(json.dumps(payload, indent=1))
+    print(render_markdown(results))
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Union
+
+from .harness import ScenarioResult
+from .slo import SLOReport
+
+#: ``benchmark`` tag of the load-lab payload.
+BENCHMARK_NAME = "load_scenarios"
+
+
+def attach_slo(result: ScenarioResult, report: SLOReport) -> ScenarioResult:
+    """Record an SLO verdict on a result (returns the same object)."""
+    result.slo = report.to_dict()
+    return result
+
+
+def results_payload(
+    results: Sequence[ScenarioResult],
+    config: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The machine-readable payload written to ``BENCH_load.json``."""
+    return {
+        "benchmark": BENCHMARK_NAME,
+        "config": dict(config or {}),
+        "scenarios": {result.scenario: result.to_dict() for result in results},
+    }
+
+
+def write_json(
+    results: Sequence[ScenarioResult],
+    path: Union[str, Path],
+    config: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the payload as indented JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(results_payload(results, config), indent=1) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Markdown
+# ----------------------------------------------------------------------
+def _table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _verdict(result: ScenarioResult) -> str:
+    if result.slo is None:
+        return "—"
+    return "PASS" if result.slo.get("passed") else "FAIL"
+
+
+def render_markdown(
+    results: Sequence[ScenarioResult], title: str = "Load scenario report"
+) -> str:
+    """Human-readable scenario report (summary table + SLO details)."""
+    sections = [f"# {title}", ""]
+    sections.append(_table(
+        ["scenario", "kind", "requests", "throughput (req/s)", "p50 (ms)",
+         "p99 (ms)", "peak queue", "errors", "timeouts", "accuracy", "SLO"],
+        [
+            [
+                result.scenario,
+                result.kind,
+                result.requests,
+                f"{result.throughput:.1f}",
+                f"{result.latency_ms['p50']:.2f}",
+                f"{result.latency_ms['p99']:.2f}",
+                int(result.queue_depth.get("peak", result.queue_depth.get("max", 0))),
+                result.errors,
+                result.timeouts,
+                f"{float(result.accuracy['overall']):.3f}",
+                _verdict(result),
+            ]
+            for result in results
+        ],
+    ))
+    for result in results:
+        if result.slo is None:
+            continue
+        sections.append("")
+        sections.append(
+            f"## {result.scenario} — SLO `{result.slo.get('spec', '?')}`: "
+            f"{_verdict(result)}"
+        )
+        sections.append("")
+        sections.append(_table(
+            ["criterion", "bound", "observed", "verdict"],
+            [
+                [
+                    check["metric"],
+                    f"{check['comparison']} {check['bound']}",
+                    f"{check['observed']:.3f}",
+                    "pass" if check["passed"] else "FAIL",
+                ]
+                for check in result.slo.get("checks", [])
+            ],
+        ))
+    return "\n".join(sections) + "\n"

@@ -1,0 +1,160 @@
+"""Declarative service-level objectives for load scenarios.
+
+An :class:`SLOSpec` states what "good" means for one scenario — latency
+bounds, a throughput floor, an accuracy floor, an error-rate ceiling — and
+:meth:`SLOSpec.evaluate` turns a measured
+:class:`~repro.bench.harness.ScenarioResult` into an :class:`SLOReport` of
+per-criterion pass/fail verdicts.  Unset bounds are simply not checked, so
+one spec file can mix tight latency gates with accuracy-only scenarios.
+
+Specs serialise to/from plain JSON (``{"name": ..., "max_p99_ms": ...}``;
+a file may hold one spec object or a ``{scenario: spec}`` mapping), which
+is what ``scripts/run_loadtest.py --slo`` loads.
+
+Example::
+
+    spec = SLOSpec(name="steady", max_p99_ms=250.0, min_throughput=100.0)
+    report = spec.evaluate(result)
+    report.passed, [c.metric for c in report.failures()]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from .harness import ScenarioResult
+
+
+@dataclass(frozen=True)
+class SLOCheck:
+    """One evaluated criterion: ``observed <comparison> bound``."""
+
+    metric: str
+    comparison: str  # "<=" or ">="
+    bound: float
+    observed: float
+    passed: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "comparison": self.comparison,
+            "bound": self.bound,
+            "observed": round(self.observed, 6),
+            "passed": self.passed,
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """All checks of one spec against one scenario result."""
+
+    spec_name: str
+    checks: Tuple[SLOCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        """True when every configured criterion held (vacuously if none)."""
+        return all(check.passed for check in self.checks)
+
+    @property
+    def verdict(self) -> str:
+        return "pass" if self.passed else "fail"
+
+    def failures(self) -> Tuple[SLOCheck, ...]:
+        return tuple(check for check in self.checks if not check.passed)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec_name,
+            "passed": self.passed,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Bounds a scenario must meet; ``None`` disables a criterion.
+
+    Latency bounds are milliseconds over completed requests; throughput is
+    completed requests per wall-clock second; accuracy is the overall
+    correct fraction; the error rate counts both pipeline errors and
+    harness timeouts against all submitted requests.
+    """
+
+    name: str = "default"
+    max_p50_ms: Optional[float] = None
+    max_p99_ms: Optional[float] = None
+    min_throughput: Optional[float] = None
+    min_accuracy: Optional[float] = None
+    max_error_rate: Optional[float] = None
+
+    def evaluate(self, result: ScenarioResult) -> SLOReport:
+        checks = []
+        if self.max_p50_ms is not None:
+            observed = result.latency_ms["p50"]
+            checks.append(SLOCheck(
+                "latency_p50_ms", "<=", self.max_p50_ms, observed,
+                observed <= self.max_p50_ms,
+            ))
+        if self.max_p99_ms is not None:
+            observed = result.latency_ms["p99"]
+            checks.append(SLOCheck(
+                "latency_p99_ms", "<=", self.max_p99_ms, observed,
+                observed <= self.max_p99_ms,
+            ))
+        if self.min_throughput is not None:
+            checks.append(SLOCheck(
+                "throughput", ">=", self.min_throughput, result.throughput,
+                result.throughput >= self.min_throughput,
+            ))
+        if self.min_accuracy is not None:
+            observed = float(result.accuracy["overall"])
+            checks.append(SLOCheck(
+                "accuracy", ">=", self.min_accuracy, observed,
+                observed >= self.min_accuracy,
+            ))
+        if self.max_error_rate is not None:
+            checks.append(SLOCheck(
+                "error_rate", "<=", self.max_error_rate, result.error_rate,
+                result.error_rate <= self.max_error_rate,
+            ))
+        return SLOReport(spec_name=self.name, checks=tuple(checks))
+
+    # ------------------------------------------------------------------
+    # (De)serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SLOSpec":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py3.8 compat
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SLO field(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+def load_slo_file(path: Union[str, Path]) -> Dict[str, SLOSpec]:
+    """Load one spec or a ``{scenario: spec}`` mapping from a JSON file.
+
+    A single spec object applies to every scenario under the key ``"*"``.
+    """
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise ValueError("SLO file must hold a JSON object")
+    if any(isinstance(value, dict) for value in payload.values()):
+        specs = {}
+        for scenario, spec_payload in payload.items():
+            spec_payload = dict(spec_payload)
+            spec_payload.setdefault("name", scenario)
+            specs[scenario] = SLOSpec.from_dict(spec_payload)
+        return specs
+    return {"*": SLOSpec.from_dict(payload)}

@@ -1,0 +1,432 @@
+"""Seeded, deterministic workload generation for the serving load lab.
+
+A workload is the composition of an **arrival process** (when requests hit
+the service) and a **mention sampler** (what each request asks for).  Both
+draw from one :class:`numpy.random.Generator` seeded by the owning
+:class:`Workload`, so the same seed always yields the *byte-identical*
+arrival schedule and mention order — load scenarios are replayable and the
+regression gate compares like with like.
+
+Arrival processes
+-----------------
+* :class:`PoissonArrivals` — open-loop steady traffic at ``rate`` req/s.
+* :class:`BurstyArrivals` — on/off modulated Poisson (burst/idle phases).
+* :class:`RampArrivals` — linearly increasing rate (capacity probing),
+  sampled exactly via inversion of the cumulative rate function.
+* :class:`ClosedLoopArrivals` — ``num_clients`` synchronous clients, each
+  submitting its next request as soon as the previous one completes (no
+  precomputed offsets; the harness paces the loop).
+
+Mention samplers
+----------------
+* :class:`UniformMentionSampler` — world uniform, then mention uniform.
+* :class:`ZipfMentionSampler` — Zipfian skew across worlds and across the
+  mentions inside each world (hot-world / hot-entity traffic).
+* :class:`TraceReplaySampler` — replay a recorded mention sequence, cycling
+  when the schedule is longer than the trace.
+
+Example::
+
+    workload = Workload(
+        arrivals=PoissonArrivals(rate=200.0, duration=2.0),
+        sampler=ZipfMentionSampler(mentions_by_world, world_exponent=1.2),
+        seed=13,
+    )
+    schedule = workload.schedule()     # same seed => identical schedule
+    schedule.offsets, schedule.mentions, schedule.signature()
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kb.entity import Mention
+
+#: Schedule kinds: open-loop schedules carry absolute arrival offsets, the
+#: closed-loop kind is paced by request completions instead.
+OPEN_LOOP = "open"
+CLOSED_LOOP = "closed"
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class Schedule:
+    """A materialised workload: one arrival offset + mention per request.
+
+    ``offsets`` are seconds from the scenario start, non-decreasing.  For
+    the closed-loop kind the offsets are all zero — arrival times emerge
+    from the completion-paced client loop, only the mention *order* is part
+    of the schedule.
+
+    Equality is object identity (``eq=False`` — a generated ``__eq__``
+    would choke on the ndarray field); compare schedules for content
+    identity via :meth:`signature`.
+    """
+
+    kind: str
+    offsets: np.ndarray
+    mentions: Tuple[Mention, ...]
+    num_clients: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (OPEN_LOOP, CLOSED_LOOP):
+            raise ValueError(f"unknown schedule kind {self.kind!r}")
+        if len(self.offsets) != len(self.mentions):
+            raise ValueError("offsets and mentions must align one-to-one")
+
+    def __len__(self) -> int:
+        return len(self.mentions)
+
+    @property
+    def duration(self) -> float:
+        """Offset of the last arrival (0.0 for an empty schedule)."""
+        return float(self.offsets[-1]) if len(self.offsets) else 0.0
+
+    def signature(self) -> str:
+        """SHA-256 over the exact offset bytes and the mention-id sequence.
+
+        Two schedules with equal signatures are byte-identical — the
+        determinism property tests assert this across generator instances.
+        """
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self.offsets, dtype=np.float64).tobytes())
+        for mention in self.mentions:
+            digest.update(mention.mention_id.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+class ArrivalProcess:
+    """Interface: produce sorted arrival offsets from a seeded generator."""
+
+    kind: str = OPEN_LOOP
+    num_clients: int = 0
+
+    def offsets(self, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+def _homogeneous_poisson(
+    rng: np.random.Generator, rate: float, start: float, duration: float
+) -> np.ndarray:
+    """Exact Poisson arrivals on ``[start, start + duration)``.
+
+    Conditioned on the count ``N ~ Poisson(rate * duration)``, arrival times
+    are N sorted uniforms — equivalent to summed exponential gaps but fully
+    vectorized.
+    """
+    count = int(rng.poisson(rate * duration))
+    return start + np.sort(rng.uniform(0.0, duration, size=count))
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop steady traffic: Poisson process at ``rate`` requests/s."""
+
+    rate: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def offsets(self, rng: np.random.Generator) -> np.ndarray:
+        return _homogeneous_poisson(rng, self.rate, 0.0, self.duration)
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """On/off traffic: alternating burst/idle phases of Poisson arrivals.
+
+    The process starts in a burst phase; phases alternate until ``duration``
+    is covered (the final phase is truncated).  ``idle_rate`` may be 0 for
+    fully silent gaps.
+    """
+
+    burst_rate: float
+    idle_rate: float
+    burst_seconds: float
+    idle_seconds: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.burst_rate <= 0:
+            raise ValueError("burst_rate must be positive")
+        if self.idle_rate < 0:
+            raise ValueError("idle_rate must be non-negative")
+        if self.burst_seconds <= 0 or self.idle_seconds <= 0:
+            raise ValueError("phase lengths must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def offsets(self, rng: np.random.Generator) -> np.ndarray:
+        pieces: List[np.ndarray] = []
+        start, bursting = 0.0, True
+        while start < self.duration:
+            length = self.burst_seconds if bursting else self.idle_seconds
+            length = min(length, self.duration - start)
+            rate = self.burst_rate if bursting else self.idle_rate
+            if rate > 0:
+                pieces.append(_homogeneous_poisson(rng, rate, start, length))
+            start += length
+            bursting = not bursting
+        if not pieces:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(pieces)
+
+
+@dataclass(frozen=True)
+class RampArrivals(ArrivalProcess):
+    """Linearly ramping rate from ``start_rate`` to ``end_rate`` req/s.
+
+    An inhomogeneous Poisson process sampled exactly by inversion: unit-rate
+    arrivals are drawn on the cumulative-rate axis ``L(t) = a*t + (b-a)*t^2
+    / (2*duration)`` and mapped back through ``L^{-1}`` (a quadratic), so no
+    thinning/rejection is needed and the draw count is exact.
+    """
+
+    start_rate: float
+    end_rate: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start_rate < 0 or self.end_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if self.start_rate == 0 and self.end_rate == 0:
+            raise ValueError("at least one of start_rate/end_rate must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    def offsets(self, rng: np.random.Generator) -> np.ndarray:
+        a, b, d = self.start_rate, self.end_rate, self.duration
+        total = (a + b) * d / 2.0  # L(duration)
+        count = int(rng.poisson(total))
+        targets = np.sort(rng.uniform(0.0, total, size=count))
+        if a == b:
+            return targets / a
+        # Solve (b-a)/(2d) * t^2 + a*t - target = 0 for t (positive root).
+        slope = (b - a) / d
+        return (np.sqrt(a * a + 2.0 * slope * targets) - a) / slope
+
+
+@dataclass(frozen=True)
+class ClosedLoopArrivals(ArrivalProcess):
+    """``num_clients`` synchronous clients issuing ``num_requests`` total.
+
+    There is no precomputed timetable: each client submits its next request
+    the moment the previous one completes, so the offered load self-adjusts
+    to service capacity (the classic closed-loop saturation probe).
+    """
+
+    num_clients: int = 8
+    num_requests: int = 256
+    kind: str = field(default=CLOSED_LOOP, init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+
+    def offsets(self, rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(self.num_requests, dtype=np.float64)
+
+
+# ----------------------------------------------------------------------
+# Mention samplers
+# ----------------------------------------------------------------------
+class MentionSampler:
+    """Interface: draw ``count`` mentions from a seeded generator."""
+
+    def sample(self, rng: np.random.Generator, count: int) -> List[Mention]:
+        raise NotImplementedError
+
+
+def _validate_pools(mentions_by_world: Mapping[str, Sequence[Mention]]) -> Dict[str, Tuple[Mention, ...]]:
+    pools = {world: tuple(pool) for world, pool in mentions_by_world.items()}
+    if not pools:
+        raise ValueError("mentions_by_world must not be empty")
+    for world, pool in pools.items():
+        if not pool:
+            raise ValueError(f"world {world!r} has an empty mention pool")
+    return pools
+
+
+class UniformMentionSampler(MentionSampler):
+    """Uniform over worlds, then uniform over that world's mentions."""
+
+    def __init__(self, mentions_by_world: Mapping[str, Sequence[Mention]]) -> None:
+        self._pools = _validate_pools(mentions_by_world)
+        self._worlds = list(self._pools)
+
+    def sample(self, rng: np.random.Generator, count: int) -> List[Mention]:
+        world_picks = rng.integers(0, len(self._worlds), size=count)
+        out: List[Mention] = []
+        for world_index in world_picks:
+            pool = self._pools[self._worlds[int(world_index)]]
+            out.append(pool[int(rng.integers(0, len(pool)))])
+        return out
+
+
+class ZipfMentionSampler(MentionSampler):
+    """Zipf-skewed traffic across worlds and across mentions within a world.
+
+    World ``i`` (0-based, in mapping order) is drawn with probability
+    proportional to ``(i + 1) ** -world_exponent``; the mention inside the
+    chosen world follows the same law with ``entity_exponent``.  The first
+    world/mention is the hot one — order your mapping accordingly, or use
+    :meth:`world_probabilities` to inspect the skew.
+    """
+
+    def __init__(
+        self,
+        mentions_by_world: Mapping[str, Sequence[Mention]],
+        world_exponent: float = 1.1,
+        entity_exponent: float = 1.1,
+    ) -> None:
+        if world_exponent <= 0 or entity_exponent <= 0:
+            raise ValueError("Zipf exponents must be positive")
+        self._pools = _validate_pools(mentions_by_world)
+        self._worlds = list(self._pools)
+        self.world_exponent = world_exponent
+        self.entity_exponent = entity_exponent
+        self._world_probs = self._zipf_probs(len(self._worlds), world_exponent)
+        self._mention_probs = {
+            world: self._zipf_probs(len(pool), entity_exponent)
+            for world, pool in self._pools.items()
+        }
+
+    @staticmethod
+    def _zipf_probs(n: int, exponent: float) -> np.ndarray:
+        weights = np.arange(1, n + 1, dtype=np.float64) ** -exponent
+        return weights / weights.sum()
+
+    def world_probabilities(self) -> Dict[str, float]:
+        """The exact world-selection distribution (rank order of the mapping)."""
+        return {world: float(p) for world, p in zip(self._worlds, self._world_probs)}
+
+    def sample(self, rng: np.random.Generator, count: int) -> List[Mention]:
+        world_picks = rng.choice(len(self._worlds), size=count, p=self._world_probs)
+        out: List[Mention] = []
+        for world_index in world_picks:
+            world = self._worlds[int(world_index)]
+            pool = self._pools[world]
+            pick = rng.choice(len(pool), p=self._mention_probs[world])
+            out.append(pool[int(pick)])
+        return out
+
+
+class TraceReplaySampler(MentionSampler):
+    """Replay a recorded mention sequence, cycling past the end.
+
+    Deterministic by construction (no randomness consumed), so a trace
+    replay composed with a seeded arrival process still yields an identical
+    schedule per seed.
+    """
+
+    def __init__(self, trace: Sequence[Mention]) -> None:
+        self._trace = tuple(trace)
+        if not self._trace:
+            raise ValueError("trace must not be empty")
+
+    def sample(self, rng: np.random.Generator, count: int) -> List[Mention]:
+        return [self._trace[i % len(self._trace)] for i in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Workload = arrivals + sampler + seed
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Workload:
+    """A replayable load scenario: arrival process × mention sampler × seed.
+
+    :meth:`schedule` creates a fresh ``numpy`` generator from ``seed`` on
+    every call, so repeated materialisations — including from a different
+    ``Workload`` instance with equal fields — are byte-identical.
+    """
+
+    arrivals: ArrivalProcess
+    sampler: MentionSampler
+    seed: int
+    name: str = ""
+
+    def schedule(self) -> Schedule:
+        rng = np.random.default_rng(self.seed)
+        offsets = np.asarray(self.arrivals.offsets(rng), dtype=np.float64)
+        mentions = tuple(self.sampler.sample(rng, len(offsets)))
+        return Schedule(
+            kind=self.arrivals.kind,
+            offsets=offsets,
+            mentions=mentions,
+            num_clients=self.arrivals.num_clients,
+        )
+
+
+def mentions_by_world(mentions: Sequence[Mention]) -> Dict[str, List[Mention]]:
+    """Group a mention sequence into per-world pools (insertion-ordered)."""
+    pools: Dict[str, List[Mention]] = {}
+    for mention in mentions:
+        pools.setdefault(mention.domain, []).append(mention)
+    return pools
+
+
+def scenario_catalogue(
+    pools: Mapping[str, Sequence[Mention]],
+    seed: int = 13,
+    duration: float = 2.0,
+    rate: float = 150.0,
+    num_clients: int = 8,
+    zipf_exponent: float = 1.3,
+) -> Dict[str, Workload]:
+    """The standard scenario set used by the benchmark and the CLI.
+
+    * ``steady_poisson`` — constant open-loop traffic at ``rate`` req/s.
+    * ``burst`` — 4:1 on/off phases, bursts at 4x ``rate`` over a trickle.
+    * ``ramp`` — linear ramp from ``rate/4`` to ``2*rate`` (capacity probe).
+    * ``zipf_worlds`` — steady traffic with Zipf-skewed world/entity mix.
+    * ``closed_loop`` — ``num_clients`` synchronous clients, completion-paced.
+    """
+    uniform = UniformMentionSampler(pools)
+    zipf = ZipfMentionSampler(pools, world_exponent=zipf_exponent,
+                              entity_exponent=zipf_exponent)
+    phase = max(duration / 8.0, 1e-3)
+    return {
+        "steady_poisson": Workload(
+            PoissonArrivals(rate=rate, duration=duration), uniform, seed,
+            name="steady_poisson",
+        ),
+        "burst": Workload(
+            BurstyArrivals(
+                burst_rate=4.0 * rate, idle_rate=rate / 8.0,
+                burst_seconds=phase, idle_seconds=phase, duration=duration,
+            ),
+            uniform, seed, name="burst",
+        ),
+        "ramp": Workload(
+            RampArrivals(start_rate=rate / 4.0, end_rate=2.0 * rate,
+                         duration=duration),
+            uniform, seed, name="ramp",
+        ),
+        "zipf_worlds": Workload(
+            PoissonArrivals(rate=rate, duration=duration), zipf, seed,
+            name="zipf_worlds",
+        ),
+        "closed_loop": Workload(
+            ClosedLoopArrivals(
+                num_clients=num_clients,
+                num_requests=max(int(rate * duration), num_clients),
+            ),
+            uniform, seed, name="closed_loop",
+        ),
+    }

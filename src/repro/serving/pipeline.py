@@ -95,6 +95,13 @@ class PipelineStats:
     submit → completion) recorded by the :class:`~repro.serving.service.LinkingService`
     frontend, kept in a rolling :data:`LATENCY_WINDOW`-sized window so the
     percentiles reflect recent traffic with bounded memory.
+
+    All mutation happens under one internal lock: counters and stage seconds
+    are written by the scheduler thread while monitoring callers (e.g. the
+    load harness) read summaries or :meth:`reset` between scenarios, so
+    every read-modify-write below must be atomic against a concurrent
+    ``reset()`` — otherwise a cleared dict can resurrect a stale stage total
+    or a percentile read can iterate a deque mid-append.
     """
 
     mentions: int = 0
@@ -103,31 +110,44 @@ class PipelineStats:
     request_latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=LATENCY_WINDOW)
     )
-    # Latency samples are written by the service scheduler thread and read by
-    # monitoring callers; the lock keeps percentile reads from racing appends.
-    _latency_lock: threading.Lock = field(
+    _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
 
+    def _total_seconds_locked(self) -> float:
+        # Caller must hold self._lock (plain Lock — re-acquiring deadlocks).
+        return sum(self.stage_seconds.values())
+
     @property
     def total_seconds(self) -> float:
-        return sum(self.stage_seconds.values())
+        with self._lock:
+            return self._total_seconds_locked()
 
     def throughput(self) -> float:
         """Processed mentions per second of stage time (0.0 when idle)."""
-        seconds = self.total_seconds
-        return self.mentions / seconds if seconds > 0 else 0.0
+        with self._lock:
+            seconds = self._total_seconds_locked()
+            return self.mentions / seconds if seconds > 0 else 0.0
 
     def record(self, stage_name: str, seconds: float) -> None:
-        self.stage_seconds[stage_name] = self.stage_seconds.get(stage_name, 0.0) + seconds
+        with self._lock:
+            self.stage_seconds[stage_name] = (
+                self.stage_seconds.get(stage_name, 0.0) + seconds
+            )
+
+    def record_batch(self, num_mentions: int) -> None:
+        """Count one processed micro-batch of ``num_mentions`` mentions."""
+        with self._lock:
+            self.mentions += num_mentions
+            self.batches += 1
 
     def record_latency(self, seconds: float) -> None:
         """Add one per-request latency sample (submit → completion)."""
-        with self._latency_lock:
+        with self._lock:
             self.request_latencies.append(seconds)
 
     def _latency_samples(self) -> np.ndarray:
-        with self._latency_lock:
+        with self._lock:
             return np.fromiter(self.request_latencies, dtype=np.float64)
 
     def latency_percentile(self, percentile: float) -> float:
@@ -158,10 +178,10 @@ class PipelineStats:
         }
 
     def reset(self) -> None:
-        self.mentions = 0
-        self.batches = 0
-        self.stage_seconds.clear()
-        with self._latency_lock:
+        with self._lock:
+            self.mentions = 0
+            self.batches = 0
+            self.stage_seconds.clear()
             self.request_latencies.clear()
 
 
@@ -290,8 +310,7 @@ class EntityLinkingPipeline:
             started = time.perf_counter()
             batch = stage(batch)
             self.stats.record(stage.name, time.perf_counter() - started)
-        self.stats.mentions += len(mentions)
-        self.stats.batches += 1
+        self.stats.record_batch(len(mentions))
         return self._assemble(batch)
 
     def _assemble(self, batch: PipelineBatch) -> List[LinkingResult]:

@@ -32,6 +32,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence
 
@@ -89,6 +90,7 @@ class LinkingService:
         self.max_wait_ms = max_wait_ms
 
         self._queue: Deque[_PendingRequest] = deque()
+        self._peak_pending = 0
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._closing = False
@@ -155,6 +157,8 @@ class LinkingService:
             if self._worker is None:
                 raise RuntimeError("LinkingService is not started")
             self._queue.append(request)
+            if len(self._queue) > self._peak_pending:
+                self._peak_pending = len(self._queue)
             # Wake the scheduler only when its state can change: the first
             # request arms the max_wait deadline, a full batch flushes
             # immediately.  Intermediate submits would only make the worker
@@ -166,14 +170,43 @@ class LinkingService:
         return request.future
 
     def link(self, mention: Mention, timeout: Optional[float] = None) -> LinkingResult:
-        """Blocking convenience wrapper: submit one mention and wait."""
-        return self.submit(mention).result(timeout=timeout)
+        """Blocking convenience wrapper: submit one mention and wait.
+
+        On timeout the request's future is *cancelled* before the error
+        propagates: the entry stays queued (and counts in :attr:`pending`)
+        until the scheduler pops it, but :meth:`_flush` then skips it via
+        ``set_running_or_notify_cancel``, so no pipeline work is spent on
+        an abandoned request.  If the flush already started (the future is
+        RUNNING) the cancel is a no-op and the result is simply discarded.
+        """
+        future = self.submit(mention)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise
 
     @property
     def pending(self) -> int:
         """Number of requests currently waiting in the queue."""
         with self._lock:
             return len(self._queue)
+
+    @property
+    def peak_pending(self) -> int:
+        """High-watermark of the queue depth since start (or the last reset).
+
+        Exact — updated on every submit — unlike sampling :attr:`pending`
+        from a monitoring ticker, which can miss short spikes between ticks.
+        """
+        with self._lock:
+            return self._peak_pending
+
+    def reset_peak_pending(self) -> int:
+        """Restart the queue-depth high-watermark from the current depth."""
+        with self._lock:
+            self._peak_pending = len(self._queue)
+            return self._peak_pending
 
     @property
     def stats(self):
@@ -201,6 +234,14 @@ class LinkingService:
         index = self.pipeline.index
         if not isinstance(index, ShardedEntityIndex):
             return []
+        if worlds is not None:
+            known = index.worlds()
+            unknown = sorted(set(worlds) - set(known))
+            if unknown:
+                raise ValueError(
+                    f"unknown world(s) {', '.join(map(repr, unknown))}; "
+                    f"known worlds: {', '.join(known)}"
+                )
         warmed: List[str] = []
         for world in (index.worlds() if worlds is None else worlds):
             index.shard(world)

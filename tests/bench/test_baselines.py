@@ -1,0 +1,172 @@
+"""Tests for the tolerance-based benchmark regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    compare,
+    flatten_metrics,
+    load_all_baselines,
+    load_bench,
+    metric_direction,
+)
+
+BASELINE = {
+    "benchmark": "load_scenarios",
+    "config": {"rate": 150.0, "seed": 13},
+    "scenarios": {
+        "steady_poisson": {
+            "requests": 300,
+            "throughput": 148.0,
+            "error_rate": 0.0,
+            "latency_ms": {"p50": 30.0, "p90": 60.0, "p99": 90.0, "count": 300.0},
+            "queue_depth": {"peak": 20.0, "samples": 400.0},
+            "accuracy": {"overall": 0.5},
+            "slo": {"passed": True},
+        }
+    },
+}
+
+
+def degraded(payload, latency_factor=3.0, throughput_factor=3.0):
+    """A deliberately worse copy: slower, fewer requests per second."""
+    copy = json.loads(json.dumps(payload))
+    for scenario in copy["scenarios"].values():
+        scenario["throughput"] /= throughput_factor
+        for key in ("p50", "p90", "p99"):
+            scenario["latency_ms"][key] *= latency_factor
+    return copy
+
+
+class TestFlatten:
+    def test_nested_keys_and_types(self):
+        flat = flatten_metrics(BASELINE)
+        assert flat["scenarios.steady_poisson.latency_ms.p99"] == 90.0
+        assert flat["config.rate"] == 150.0
+        # Booleans (SLO verdicts) and strings are not metrics.
+        assert "scenarios.steady_poisson.slo.passed" not in flat
+        assert "benchmark" not in flat
+
+    def test_lists_are_indexed(self):
+        flat = flatten_metrics({"xs": [1.0, 2.0], "objs": [{"a": 3.0}]})
+        assert flat == {"xs[0]": 1.0, "xs[1]": 2.0, "objs[0].a": 3.0}
+
+
+class TestDirections:
+    @pytest.mark.parametrize("key,expected", [
+        ("scenarios.x.throughput", "higher"),
+        ("mentions_per_second.linking_service", "higher"),
+        ("scenarios.x.accuracy.overall", "higher"),
+        ("kv_cached_vs_naive_float64", "higher"),
+        ("scenarios.x.latency_ms.p99", "lower"),
+        ("service_latency_ms.p50", "lower"),
+        ("scenarios.x.queue_depth.peak", "lower"),
+        ("scenarios.x.error_rate", "lower"),
+        ("config.rate", None),
+        ("scenarios.x.requests", None),
+        ("scenarios.x.latency_ms.count", None),
+        ("config.repeats", None),
+        ("scenarios.x.accuracy.per_world.lego.correct", None),
+        ("scenarios.x.accuracy.per_world.lego.accuracy", None),
+    ])
+    def test_name_based_inference(self, key, expected):
+        assert metric_direction(key) == expected
+
+
+class TestCompare:
+    def test_identical_run_passes(self):
+        report = compare(BASELINE, BASELINE, rtol=0.2)
+        assert report.passed
+        assert report.regressions == ()
+        assert report.missing == ()
+        assert len(report.checks) > 0
+        assert "PASS" in report.summary()
+
+    def test_degraded_run_fails_the_gate(self):
+        report = compare(degraded(BASELINE), BASELINE, rtol=0.25)
+        assert not report.passed
+        regressed = {check.metric for check in report.regressions}
+        assert "scenarios.steady_poisson.throughput" in regressed
+        assert "scenarios.steady_poisson.latency_ms.p99" in regressed
+        assert "REGRESSED" in report.summary()
+
+    def test_within_tolerance_noise_passes(self):
+        noisy = degraded(BASELINE, latency_factor=1.1, throughput_factor=1.1)
+        assert compare(noisy, BASELINE, rtol=0.25).passed
+        assert not compare(noisy, BASELINE, rtol=0.05).passed
+
+    def test_improvements_are_reported_not_failed(self):
+        improved = degraded(BASELINE, latency_factor=0.25, throughput_factor=0.25)
+        report = compare(improved, BASELINE, rtol=0.2)
+        assert report.passed
+        assert len(report.improvements) >= 2
+
+    def test_missing_metric_is_a_regression(self):
+        current = json.loads(json.dumps(BASELINE))
+        del current["scenarios"]["steady_poisson"]["throughput"]
+        report = compare(current, BASELINE, rtol=0.2)
+        assert not report.passed
+        assert "scenarios.steady_poisson.throughput" in report.missing
+        assert "missing" in report.summary()
+
+    def test_zero_baseline_error_rate(self):
+        worse = json.loads(json.dumps(BASELINE))
+        worse["scenarios"]["steady_poisson"]["error_rate"] = 0.1
+        assert not compare(worse, BASELINE).passed
+        assert compare(BASELINE, BASELINE).passed  # 0 vs 0 still passes
+
+    def test_direction_overrides(self):
+        report = compare(
+            degraded(BASELINE), BASELINE, rtol=0.25,
+            directions={
+                "scenarios.steady_poisson.throughput": "skip",
+                "scenarios.steady_poisson.latency_ms.p50": None,
+                "scenarios.steady_poisson.latency_ms.p90": None,
+                "scenarios.steady_poisson.latency_ms.p99": None,
+            },
+        )
+        gated = {check.metric for check in report.checks}
+        assert "scenarios.steady_poisson.throughput" not in gated
+        assert report.passed
+        with pytest.raises(ValueError):
+            compare(BASELINE, BASELINE, directions={"config.rate": "sideways"})
+
+    def test_new_metrics_in_current_run_pass_freely(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["scenarios"]["burst"] = {"throughput": 1.0}
+        assert compare(current, BASELINE).passed
+
+    def test_atol_forgives_near_zero_baselines(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["scenarios"]["steady_poisson"]["accuracy"]["overall"] = 0.47
+        # 0.47 vs 0.5 fails a 1% relative gate but sits inside atol=0.05.
+        assert not compare(current, BASELINE, rtol=0.01).passed
+        assert compare(current, BASELINE, rtol=0.01, atol=0.05).passed
+
+    def test_negative_tolerances_rejected(self):
+        with pytest.raises(ValueError):
+            compare(BASELINE, BASELINE, rtol=-0.1)
+        with pytest.raises(ValueError):
+            compare(BASELINE, BASELINE, atol=-0.1)
+
+
+class TestLoaders:
+    def test_load_bench_and_all_baselines(self, tmp_path):
+        (tmp_path / "BENCH_load.json").write_text(json.dumps(BASELINE))
+        (tmp_path / "BENCH_serving.json").write_text(json.dumps({"benchmark": "s"}))
+        assert load_bench(tmp_path / "BENCH_load.json") == BASELINE
+        found = load_all_baselines(tmp_path)
+        assert set(found) == {"BENCH_load.json", "BENCH_serving.json"}
+
+    def test_repo_baselines_gate_against_themselves(self):
+        # Every committed BENCH file must pass its own gate — the invariant
+        # CI relies on when comparing a fresh run to the committed numbers.
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        found = load_all_baselines(root)
+        assert "BENCH_serving.json" in found  # committed since PR 2
+        for name, payload in found.items():
+            report = compare(payload, payload, rtol=0.0)
+            assert report.passed, f"{name}: {report.summary()}"

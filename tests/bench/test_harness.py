@@ -1,0 +1,200 @@
+"""End-to-end tests: LoadHarness driving a real LinkingService."""
+
+import time
+
+import pytest
+
+from repro.bench import (
+    ClosedLoopArrivals,
+    LoadHarness,
+    PoissonArrivals,
+    SLOSpec,
+    UniformMentionSampler,
+    Workload,
+    attach_slo,
+    mentions_by_world,
+)
+from repro.data import split_domain
+from repro.linking import BlinkPipeline
+from repro.serving import EntityLinkingPipeline, LinkingService
+from repro.utils.config import BiEncoderConfig, CrossEncoderConfig, EncoderConfig
+
+ENC = EncoderConfig(model_dim=16, num_layers=1, num_heads=2, hidden_dim=32, max_length=32)
+BI_CFG = BiEncoderConfig(encoder=ENC, epochs=1, batch_size=8, learning_rate=5e-3)
+CX_CFG = CrossEncoderConfig(encoder=ENC, epochs=1, batch_size=4, num_candidates=3, learning_rate=5e-3)
+
+
+@pytest.fixture(scope="module")
+def harness_setup(tiny_corpus, tiny_tokenizer):
+    worlds = ["lego", "yugioh"]
+    entities = [e for world in worlds for e in tiny_corpus.entities(world)]
+    pools = {
+        world: split_domain(tiny_corpus, world, seed_size=20, dev_size=10).test[:15]
+        for world in worlds
+    }
+    blink = BlinkPipeline(tiny_tokenizer, BI_CFG, CX_CFG)
+    index = blink.biencoder.build_sharded_index(entities, lazy=False)
+    pipeline = EntityLinkingPipeline(
+        blink.biencoder, index, blink.crossencoder, k=4, batch_size=8
+    )
+    pipeline.link(pools["lego"][:8])  # warm caches so timings are stable
+    return pipeline, pools
+
+
+def make_service(pipeline, **kwargs):
+    kwargs.setdefault("max_batch_size", 8)
+    kwargs.setdefault("max_wait_ms", 5.0)
+    return LinkingService(pipeline, **kwargs)
+
+
+class TestOpenLoop:
+    def test_poisson_scenario_end_to_end(self, harness_setup):
+        pipeline, pools = harness_setup
+        workload = Workload(
+            PoissonArrivals(rate=120.0, duration=0.4),
+            UniformMentionSampler(pools),
+            seed=13,
+            name="steady",
+        )
+        expected = len(workload.schedule())
+        with make_service(pipeline) as service:
+            result = LoadHarness(service, tick_interval=0.002).run(workload)
+        assert result.scenario == "steady"
+        assert result.kind == "open"
+        assert result.seed == 13
+        assert result.requests == expected
+        assert result.completed == expected
+        assert result.errors == 0 and result.timeouts == 0
+        assert result.error_rate == 0.0
+        assert result.throughput > 0
+        assert 0 < result.latency_ms["p50"] <= result.latency_ms["p99"]
+        assert result.latency_ms["count"] == expected
+        assert result.queue_depth["samples"] > 0
+        assert result.queue_depth["peak"] >= result.queue_depth["max"] >= 0
+
+    def test_accuracy_breakdown_counts_every_completion(self, harness_setup):
+        pipeline, pools = harness_setup
+        workload = Workload(
+            PoissonArrivals(rate=100.0, duration=0.3),
+            UniformMentionSampler(pools),
+            seed=5,
+        )
+        with make_service(pipeline) as service:
+            result = LoadHarness(service).run(workload, name="accuracy")
+        per_world = result.accuracy["per_world"]
+        assert set(per_world) <= {"lego", "yugioh"}
+        assert sum(b["total"] for b in per_world.values()) == result.completed
+        for bucket in per_world.values():
+            assert 0.0 <= bucket["accuracy"] <= 1.0
+        assert 0.0 <= float(result.accuracy["overall"]) <= 1.0
+
+    def test_resets_stats_and_peak_between_runs(self, harness_setup):
+        pipeline, pools = harness_setup
+        workload = Workload(
+            PoissonArrivals(rate=100.0, duration=0.2),
+            UniformMentionSampler(pools),
+            seed=3,
+        )
+        with make_service(pipeline) as service:
+            harness = LoadHarness(service)
+            first = harness.run(workload)
+            second = harness.run(workload)
+        # Same seeded schedule, fresh stats window each run.
+        assert first.requests == second.requests
+        assert pipeline.stats.latency_summary()["count"] == second.completed
+
+    def test_slo_attached_to_result(self, harness_setup):
+        pipeline, pools = harness_setup
+        workload = Workload(
+            PoissonArrivals(rate=80.0, duration=0.2),
+            UniformMentionSampler(pools),
+            seed=2,
+        )
+        with make_service(pipeline) as service:
+            result = LoadHarness(service).run(workload)
+        attach_slo(result, SLOSpec(
+            name="lab", max_p99_ms=30_000.0, min_throughput=1.0,
+            max_error_rate=0.0, min_accuracy=0.0,
+        ).evaluate(result))
+        assert result.slo["passed"] is True
+        assert result.to_dict()["slo"]["spec"] == "lab"
+
+
+class TestClosedLoop:
+    def test_closed_loop_completes_all_requests(self, harness_setup):
+        pipeline, pools = harness_setup
+        workload = Workload(
+            ClosedLoopArrivals(num_clients=4, num_requests=24),
+            UniformMentionSampler(pools),
+            seed=19,
+            name="closed",
+        )
+        with make_service(pipeline, max_wait_ms=2.0) as service:
+            result = LoadHarness(service).run(workload)
+        assert result.kind == "closed"
+        assert result.requests == 24
+        assert result.completed == 24
+        assert result.errors == 0 and result.timeouts == 0
+        # Never more outstanding requests than clients in a closed loop.
+        assert result.queue_depth["peak"] <= 4
+
+
+class TestFailureModes:
+    def test_timeouts_counted_and_futures_cancelled(self, harness_setup, monkeypatch):
+        pipeline, pools = harness_setup
+        real_link = pipeline.link
+
+        def slow_link(mentions):
+            time.sleep(0.3)
+            return real_link(mentions)
+
+        monkeypatch.setattr(pipeline, "link", slow_link)
+        workload = Workload(
+            PoissonArrivals(rate=100.0, duration=0.1),
+            UniformMentionSampler(pools),
+            seed=7,
+        )
+        with make_service(pipeline, max_wait_ms=1.0) as service:
+            harness = LoadHarness(service, request_timeout=0.05)
+            result = harness.run(workload)
+        assert result.timeouts > 0
+        assert result.completed + result.timeouts + result.errors == result.requests
+        assert result.error_rate > 0
+
+    def test_pipeline_errors_counted(self, harness_setup, monkeypatch):
+        pipeline, pools = harness_setup
+
+        def boom(mentions):
+            raise RuntimeError("shard offline")
+
+        monkeypatch.setattr(pipeline, "link", boom)
+        workload = Workload(
+            PoissonArrivals(rate=100.0, duration=0.1),
+            UniformMentionSampler(pools),
+            seed=11,
+        )
+        with make_service(pipeline, max_wait_ms=1.0) as service:
+            result = LoadHarness(service).run(workload)
+        assert result.errors == result.requests
+        assert result.completed == 0
+        assert result.latency_ms["count"] == 0.0
+
+    def test_invalid_harness_parameters(self, harness_setup):
+        pipeline, _ = harness_setup
+        with make_service(pipeline) as service:
+            with pytest.raises(ValueError):
+                LoadHarness(service, tick_interval=0.0)
+            with pytest.raises(ValueError):
+                LoadHarness(service, request_timeout=0.0)
+
+    def test_stopped_service_rejected(self, harness_setup):
+        pipeline, pools = harness_setup
+        service = make_service(pipeline)
+        service.close(timeout=10.0)
+        workload = Workload(
+            PoissonArrivals(rate=10.0, duration=0.1),
+            UniformMentionSampler(pools),
+            seed=1,
+        )
+        with pytest.raises(RuntimeError):
+            LoadHarness(service).run(workload)

@@ -1,0 +1,146 @@
+"""Tests for SLO evaluation and the scenario report renderers."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SLOSpec,
+    ScenarioResult,
+    attach_slo,
+    load_slo_file,
+    render_markdown,
+    results_payload,
+    write_json,
+)
+
+
+def make_result(**overrides):
+    base = dict(
+        scenario="steady_poisson",
+        kind="open",
+        seed=13,
+        requests=100,
+        completed=98,
+        errors=1,
+        timeouts=1,
+        wall_seconds=2.0,
+        throughput=49.0,
+        latency_ms={"count": 98.0, "mean": 40.0, "max": 120.0,
+                    "p50": 35.0, "p90": 80.0, "p99": 110.0},
+        queue_depth={"max": 12.0, "mean": 4.0, "samples": 400.0, "peak": 14.0},
+        accuracy={"overall": 0.75, "per_world": {
+            "lego": {"correct": 30, "total": 40, "accuracy": 0.75},
+            "yugioh": {"correct": 43, "total": 58, "accuracy": 0.7414},
+        }},
+    )
+    base.update(overrides)
+    return ScenarioResult(**base)
+
+
+class TestSLOSpec:
+    def test_all_criteria_pass(self):
+        spec = SLOSpec(name="tight", max_p50_ms=50.0, max_p99_ms=150.0,
+                       min_throughput=40.0, min_accuracy=0.5,
+                       max_error_rate=0.05)
+        report = spec.evaluate(make_result())
+        assert report.passed
+        assert report.verdict == "pass"
+        assert len(report.checks) == 5
+        assert report.failures() == ()
+
+    def test_each_criterion_can_fail(self):
+        result = make_result()
+        failing = [
+            SLOSpec(max_p50_ms=10.0),
+            SLOSpec(max_p99_ms=100.0),
+            SLOSpec(min_throughput=60.0),
+            SLOSpec(min_accuracy=0.9),
+            SLOSpec(max_error_rate=0.001),
+        ]
+        for spec in failing:
+            report = spec.evaluate(result)
+            assert not report.passed
+            assert len(report.failures()) == 1
+
+    def test_unset_bounds_are_not_checked(self):
+        report = SLOSpec().evaluate(make_result())
+        assert report.checks == ()
+        assert report.passed  # vacuously
+
+    def test_error_rate_counts_timeouts(self):
+        result = make_result(errors=0, timeouts=5)
+        report = SLOSpec(max_error_rate=0.04).evaluate(result)
+        assert not report.passed
+        assert report.checks[0].observed == pytest.approx(0.05)
+
+    def test_round_trip_dict(self):
+        spec = SLOSpec(name="s", max_p99_ms=100.0, min_throughput=5.0)
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO field"):
+            SLOSpec.from_dict({"max_p42_ms": 1.0})
+
+
+class TestSLOFile:
+    def test_single_spec_file(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"max_p99_ms": 200.0}))
+        specs = load_slo_file(path)
+        assert set(specs) == {"*"}
+        assert specs["*"].max_p99_ms == 200.0
+
+    def test_per_scenario_mapping(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "steady_poisson": {"max_p99_ms": 200.0},
+            "burst": {"max_p99_ms": 500.0, "name": "burst-slo"},
+        }))
+        specs = load_slo_file(path)
+        assert specs["steady_poisson"].name == "steady_poisson"
+        assert specs["burst"].name == "burst-slo"
+        assert specs["burst"].max_p99_ms == 500.0
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_slo_file(path)
+
+
+class TestReport:
+    def test_payload_shape(self):
+        result = make_result()
+        attach_slo(result, SLOSpec(max_p99_ms=150.0).evaluate(result))
+        payload = results_payload([result], config={"rate": 50.0})
+        assert payload["benchmark"] == "load_scenarios"
+        assert payload["config"] == {"rate": 50.0}
+        scenario = payload["scenarios"]["steady_poisson"]
+        assert scenario["throughput"] == pytest.approx(49.0)
+        assert scenario["latency_ms"]["p99"] == pytest.approx(110.0)
+        assert scenario["queue_depth"]["peak"] == pytest.approx(14.0)
+        assert scenario["slo"]["passed"] is True
+        assert scenario["error_rate"] == pytest.approx(0.02)
+
+    def test_round_trips_through_json(self, tmp_path):
+        result = make_result()
+        path = write_json([result], tmp_path / "BENCH_load.json")
+        reloaded = json.loads(path.read_text())
+        assert reloaded["scenarios"]["steady_poisson"]["requests"] == 100
+
+    def test_markdown_contains_verdicts_and_metrics(self):
+        passing = make_result()
+        attach_slo(passing, SLOSpec(name="ok", max_p99_ms=150.0).evaluate(passing))
+        failing = make_result(scenario="burst")
+        attach_slo(failing, SLOSpec(name="tight", max_p50_ms=1.0).evaluate(failing))
+        markdown = render_markdown([passing, failing])
+        assert "| steady_poisson |" in markdown
+        assert "| burst |" in markdown
+        assert "PASS" in markdown and "FAIL" in markdown
+        assert "latency_p50_ms" in markdown
+        assert "49.0" in markdown  # throughput cell
+
+    def test_markdown_without_slo(self):
+        markdown = render_markdown([make_result()])
+        assert "—" in markdown

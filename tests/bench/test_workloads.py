@@ -1,0 +1,224 @@
+"""Property tests for the deterministic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BurstyArrivals,
+    ClosedLoopArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    Schedule,
+    TraceReplaySampler,
+    UniformMentionSampler,
+    Workload,
+    ZipfMentionSampler,
+    mentions_by_world,
+    scenario_catalogue,
+)
+from repro.kb.entity import Mention
+
+
+def make_pools(num_worlds=4, per_world=6):
+    return {
+        f"world{i}": [
+            Mention(
+                mention_id=f"w{i}-m{j}",
+                surface=f"surface {j}",
+                context_left="left",
+                context_right="right",
+                domain=f"world{i}",
+                gold_entity_id=f"world{i}:{j}",
+            )
+            for j in range(per_world)
+        ]
+        for i in range(num_worlds)
+    }
+
+
+POOLS = make_pools()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("arrivals", [
+        PoissonArrivals(rate=200.0, duration=1.5),
+        BurstyArrivals(burst_rate=400.0, idle_rate=20.0, burst_seconds=0.2,
+                       idle_seconds=0.3, duration=1.5),
+        RampArrivals(start_rate=50.0, end_rate=400.0, duration=1.5),
+        ClosedLoopArrivals(num_clients=4, num_requests=64),
+    ])
+    def test_same_seed_byte_identical_schedule(self, arrivals):
+        # Two *independent* Workload instantiations with the same seed must
+        # produce the identical arrival schedule and mention sequence, down
+        # to the offset bytes.
+        first = Workload(arrivals, UniformMentionSampler(POOLS), seed=42).schedule()
+        second = Workload(arrivals, UniformMentionSampler(POOLS), seed=42).schedule()
+        assert first.offsets.tobytes() == second.offsets.tobytes()
+        assert [m.mention_id for m in first.mentions] == [
+            m.mention_id for m in second.mentions
+        ]
+        assert first.signature() == second.signature()
+
+    def test_different_seed_different_schedule(self):
+        arrivals = PoissonArrivals(rate=200.0, duration=1.5)
+        sampler = UniformMentionSampler(POOLS)
+        first = Workload(arrivals, sampler, seed=1).schedule()
+        second = Workload(arrivals, sampler, seed=2).schedule()
+        assert first.signature() != second.signature()
+
+    def test_schedule_can_be_rematerialised(self):
+        workload = Workload(
+            PoissonArrivals(rate=100.0, duration=1.0),
+            ZipfMentionSampler(POOLS),
+            seed=9,
+        )
+        assert workload.schedule().signature() == workload.schedule().signature()
+
+
+class TestPoisson:
+    def test_inter_arrival_mean_matches_rate(self):
+        # 20k arrivals at 100 req/s: mean gap must be ~1/rate within 3%.
+        rate = 100.0
+        schedule = Workload(
+            PoissonArrivals(rate=rate, duration=200.0),
+            TraceReplaySampler(POOLS["world0"]),
+            seed=3,
+        ).schedule()
+        gaps = np.diff(schedule.offsets)
+        assert len(schedule) > 15_000
+        assert np.mean(gaps) == pytest.approx(1.0 / rate, rel=0.03)
+
+    def test_offsets_sorted_and_bounded(self):
+        schedule = Workload(
+            PoissonArrivals(rate=500.0, duration=2.0),
+            UniformMentionSampler(POOLS),
+            seed=5,
+        ).schedule()
+        assert np.all(np.diff(schedule.offsets) >= 0)
+        assert schedule.offsets[0] >= 0.0
+        assert schedule.duration <= 2.0
+
+
+class TestZipf:
+    def test_world_frequencies_match_configured_skew(self):
+        # Empirical world frequencies over 20k draws must match the exact
+        # Zipf distribution the sampler advertises.
+        sampler = ZipfMentionSampler(POOLS, world_exponent=1.4, entity_exponent=1.0)
+        rng = np.random.default_rng(17)
+        draws = sampler.sample(rng, 20_000)
+        expected = sampler.world_probabilities()
+        counts = {world: 0 for world in POOLS}
+        for mention in draws:
+            counts[mention.domain] += 1
+        for world, probability in expected.items():
+            assert counts[world] / len(draws) == pytest.approx(probability, abs=0.02)
+        # The skew is real: hottest world dominates the coldest.
+        assert counts["world0"] > 3 * counts["world3"]
+
+    def test_entity_skew_within_world(self):
+        sampler = ZipfMentionSampler(POOLS, world_exponent=0.001, entity_exponent=2.0)
+        rng = np.random.default_rng(23)
+        draws = [m for m in sampler.sample(rng, 20_000) if m.domain == "world1"]
+        first = sum(1 for m in draws if m.mention_id == "w1-m0")
+        last = sum(1 for m in draws if m.mention_id == "w1-m5")
+        assert first > 10 * max(last, 1)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfMentionSampler(POOLS, world_exponent=0.0)
+
+
+class TestRampAndBurst:
+    def test_ramp_rate_increases_over_time(self):
+        schedule = Workload(
+            RampArrivals(start_rate=20.0, end_rate=400.0, duration=10.0),
+            UniformMentionSampler(POOLS),
+            seed=7,
+        ).schedule()
+        half = schedule.offsets < 5.0
+        # The rate integral gives 575 arrivals in the first half vs 1525 in
+        # the second — a 2.65x density ratio; assert a safe 2x margin.
+        assert half.sum() * 2 < (~half).sum()
+        assert np.all(schedule.offsets <= 10.0)
+
+    def test_constant_ramp_equals_poisson_rate(self):
+        schedule = Workload(
+            RampArrivals(start_rate=100.0, end_rate=100.0, duration=50.0),
+            TraceReplaySampler(POOLS["world0"]),
+            seed=11,
+        ).schedule()
+        assert len(schedule) == pytest.approx(5000, rel=0.05)
+
+    def test_burst_phases_denser_than_idle(self):
+        schedule = Workload(
+            BurstyArrivals(burst_rate=400.0, idle_rate=10.0, burst_seconds=0.5,
+                           idle_seconds=0.5, duration=8.0),
+            UniformMentionSampler(POOLS),
+            seed=13,
+        ).schedule()
+        phase = np.floor(schedule.offsets / 0.5).astype(int)
+        burst_count = np.sum(phase % 2 == 0)
+        idle_count = np.sum(phase % 2 == 1)
+        assert burst_count > 10 * max(idle_count, 1)
+
+
+class TestSamplersAndSchedules:
+    def test_trace_replay_cycles_in_order(self):
+        trace = POOLS["world2"]
+        sampler = TraceReplaySampler(trace)
+        rng = np.random.default_rng(0)
+        drawn = sampler.sample(rng, len(trace) * 2 + 3)
+        expected = [trace[i % len(trace)].mention_id for i in range(len(drawn))]
+        assert [m.mention_id for m in drawn] == expected
+
+    def test_uniform_sampler_covers_all_worlds(self):
+        sampler = UniformMentionSampler(POOLS)
+        rng = np.random.default_rng(29)
+        seen = {m.domain for m in sampler.sample(rng, 500)}
+        assert seen == set(POOLS)
+
+    def test_closed_loop_schedule_shape(self):
+        schedule = Workload(
+            ClosedLoopArrivals(num_clients=3, num_requests=10),
+            UniformMentionSampler(POOLS),
+            seed=31,
+        ).schedule()
+        assert schedule.kind == "closed"
+        assert schedule.num_clients == 3
+        assert len(schedule) == 10
+        assert np.all(schedule.offsets == 0.0)
+
+    def test_mentions_by_world_groups_by_domain(self):
+        flat = [m for pool in POOLS.values() for m in pool]
+        grouped = mentions_by_world(flat)
+        assert set(grouped) == set(POOLS)
+        assert [m.mention_id for m in grouped["world1"]] == [
+            m.mention_id for m in POOLS["world1"]
+        ]
+
+    def test_catalogue_contains_standard_scenarios(self):
+        catalogue = scenario_catalogue(POOLS, seed=1, duration=0.5, rate=40.0)
+        assert {"steady_poisson", "burst", "ramp", "zipf_worlds",
+                "closed_loop"} <= set(catalogue)
+        for name, workload in catalogue.items():
+            assert workload.schedule().signature() == workload.schedule().signature()
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            RampArrivals(start_rate=0.0, end_rate=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(burst_rate=1.0, idle_rate=-1.0, burst_seconds=1.0,
+                           idle_seconds=1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            ClosedLoopArrivals(num_clients=0, num_requests=1)
+        with pytest.raises(ValueError):
+            UniformMentionSampler({})
+        with pytest.raises(ValueError):
+            UniformMentionSampler({"w": []})
+        with pytest.raises(ValueError):
+            TraceReplaySampler([])
+        with pytest.raises(ValueError):
+            Schedule(kind="weird", offsets=np.zeros(1),
+                     mentions=(POOLS["world0"][0],))

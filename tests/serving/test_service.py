@@ -2,6 +2,7 @@
 
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 
 import numpy as np
 import pytest
@@ -178,6 +179,66 @@ class TestLinkingService:
             assert not index.is_materialized("yugioh")
             assert service.warm_up() == index.worlds()
             assert all(index.is_materialized(world) for world in index.worlds())
+
+    def test_link_timeout_cancels_queued_request(self, service_setup):
+        # A timed-out link() must cancel its queued request so it stops
+        # consuming a batch slot; the flush skips it via
+        # set_running_or_notify_cancel and only live requests are linked.
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+        pipeline.stats.reset()
+        # max_wait far beyond the timeout: the request is guaranteed to
+        # still be queued (not RUNNING) when the timeout fires.
+        with LinkingService(pipeline, max_batch_size=64, max_wait_ms=60_000.0) as service:
+            with pytest.raises(FutureTimeoutError):
+                service.link(mentions[0], timeout=0.05)
+            assert service.pending == 1  # cancelled but still queued
+            live = [service.submit(mention) for mention in mentions[1:4]]
+            # close() drains the queue: the cancelled request is skipped,
+            # the live ones complete.
+            service.close(timeout=RESULT_TIMEOUT)
+        for mention, future in zip(mentions[1:4], live):
+            assert future.result(timeout=0).mention_id == mention.mention_id
+        assert pipeline.stats.mentions == 3
+
+    def test_flush_skips_cancelled_queued_requests(self, service_setup):
+        # Directly exercise the set_running_or_notify_cancel path: cancel a
+        # queued future before any flush can run, then let the drain flush.
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+        pipeline.stats.reset()
+        with LinkingService(pipeline, max_batch_size=64, max_wait_ms=60_000.0) as service:
+            doomed = service.submit(mentions[0])
+            survivor = service.submit(mentions[1])
+            assert doomed.cancel()
+            service.close(timeout=RESULT_TIMEOUT)
+        assert doomed.cancelled()
+        assert survivor.result(timeout=0).mention_id == mentions[1].mention_id
+        assert pipeline.stats.mentions == 1
+        assert pipeline.stats.latency_summary()["count"] == 1
+
+    def test_warm_up_unknown_world_raises_value_error(self, service_setup):
+        blink, entities, _ = service_setup
+        pipeline = make_pipeline(blink, entities)
+        with LinkingService(pipeline) as service:
+            with pytest.raises(ValueError, match="unknown world") as excinfo:
+                service.warm_up(["lego", "atlantis"])
+            # The message lists the known worlds and nothing was built.
+            assert "lego" in str(excinfo.value)
+            assert not pipeline.index.is_materialized("lego")
+
+    def test_peak_pending_high_watermark(self, service_setup):
+        blink, entities, mentions = service_setup
+        pipeline = make_pipeline(blink, entities)
+        with LinkingService(pipeline, max_batch_size=64, max_wait_ms=60_000.0) as service:
+            assert service.peak_pending == 0
+            futures = [service.submit(mention) for mention in mentions[:6]]
+            assert service.peak_pending == 6
+            assert service.reset_peak_pending() == service.pending
+            service.close(timeout=RESULT_TIMEOUT)
+            for future in futures:
+                future.result(timeout=0)
+        assert service.pending == 0
 
     def test_warm_up_flat_index_is_noop(self, service_setup):
         blink, entities, _ = service_setup
