@@ -9,6 +9,13 @@ report and writes the machine-readable payload (the ``BENCH_load.json``
 shape).  With ``--baseline`` the fresh run is additionally gated against a
 committed payload and the exit code reflects the verdict.
 
+With ``--replicas N`` (N >= 2) the front door is a
+:class:`~repro.serving.Router` over an N-wide :class:`~repro.serving.ReplicaPool`
+instead of a single service, and the degraded-replica scenarios from the
+cluster catalogue (``kill_replica``, ``slow_replica``, ``freeze_thaw``,
+plus the healthy ``cluster_steady`` baseline) become selectable — each
+replays its :class:`~repro.serving.FaultPlan` against the pool mid-run.
+
 Usage::
 
     PYTHONPATH=src python scripts/run_loadtest.py                        # all scenarios
@@ -16,6 +23,8 @@ Usage::
         --duration 2.0 --rate 200 --seed 7 --output BENCH_load.json
     PYTHONPATH=src python scripts/run_loadtest.py --slo slo.json \
         --baseline BENCH_load.json --rtol 0.3
+    PYTHONPATH=src python scripts/run_loadtest.py --replicas 4 \
+        --scenario kill_replica slow_replica --output BENCH_cluster.json
 
 Exit status: 0 when every SLO and the optional regression gate pass,
 1 otherwise.
@@ -31,9 +40,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench import (  # noqa: E402 - path bootstrap above
+    ClusterScenario,
     LoadHarness,
     SLOSpec,
     attach_slo,
+    cluster_scenario_catalogue,
     compare,
     load_bench,
     load_slo_file,
@@ -46,7 +57,12 @@ from repro.data import generate_corpus, split_domain  # noqa: E402
 from repro.data.worlds import TEST_DOMAINS  # noqa: E402
 from repro.generation import build_tokenizer_for_corpus  # noqa: E402
 from repro.linking import BlinkPipeline  # noqa: E402
-from repro.serving import EntityLinkingPipeline, LinkingService  # noqa: E402
+from repro.serving import (  # noqa: E402
+    EntityLinkingPipeline,
+    LinkingService,
+    ReplicaPool,
+    Router,
+)
 from repro.utils.config import (  # noqa: E402
     BiEncoderConfig,
     CorpusConfig,
@@ -86,9 +102,17 @@ def build_service(args: argparse.Namespace):
         blink.biencoder, index, blink.crossencoder,
         k=args.k, rerank=not args.no_rerank, batch_size=args.batch_size,
     )
-    service = LinkingService(
-        pipeline, max_batch_size=args.batch_size, max_wait_ms=args.max_wait_ms
-    )
+    if args.replicas > 1:
+        pool = ReplicaPool.from_pipeline(
+            pipeline, replicas=args.replicas,
+            max_batch_size=args.batch_size, max_wait_ms=args.max_wait_ms,
+            process_replicas=args.process_replicas,
+        )
+        service = Router(pool, seed=args.seed)
+    else:
+        service = LinkingService(
+            pipeline, max_batch_size=args.batch_size, max_wait_ms=args.max_wait_ms
+        )
     return service, pools
 
 
@@ -96,7 +120,15 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scenario", nargs="*", default=None,
                         help="scenario names from the catalogue (default: all); "
-                             "choices: steady_poisson burst ramp zipf_worlds closed_loop")
+                             "choices: steady_poisson burst ramp zipf_worlds "
+                             "closed_loop, plus with --replicas >= 2: "
+                             "cluster_steady kill_replica slow_replica freeze_thaw")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="serve through a Router over this many pool "
+                             "replicas instead of a single LinkingService "
+                             "(>= 2 unlocks the degraded-replica scenarios)")
+    parser.add_argument("--process-replicas", type=int, default=0,
+                        help="how many pool slots are process-backed replicas")
     parser.add_argument("--duration", type=float, default=2.0,
                         help="seconds of traffic per open-loop scenario")
     parser.add_argument("--rate", type=float, default=150.0,
@@ -131,13 +163,39 @@ def parse_args(argv=None) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
+def heal_pool(router: Router) -> None:
+    """Undo scenario injuries so the next scenario starts healthy.
+
+    Fault plans outlive their scenario — a killed replica stays dead and an
+    injected delay sticks — so between catalogue entries every fault knob is
+    reset and dead/stopped slots are restarted as fresh generations.
+    """
+    pool = router.pool
+    for slot in range(len(pool)):
+        replica = pool.replica(slot)
+        replica.set_delay(0.0)
+        replica.unfreeze()
+        if replica.state in ("dead", "stopped"):
+            pool.restart(slot)
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
     service, pools = build_service(args)
     catalogue = scenario_catalogue(
         pools, seed=args.seed, duration=args.duration, rate=args.rate,
         num_clients=args.num_clients,
     )
+    if args.replicas > 1:
+        catalogue = {
+            **catalogue,
+            **cluster_scenario_catalogue(
+                pools, replicas=args.replicas, seed=args.seed,
+                duration=args.duration, rate=args.rate,
+            ),
+        }
     names = args.scenario or list(catalogue)
     unknown = sorted(set(names) - set(catalogue))
     if unknown:
@@ -153,7 +211,12 @@ def main(argv=None) -> int:
         harness = LoadHarness(service, request_timeout=args.request_timeout)
         for name in names:
             print(f"running {name} ...", flush=True)
-            result = harness.run(catalogue[name])
+            entry = catalogue[name]
+            if isinstance(entry, ClusterScenario):
+                result = harness.run(entry.workload, fault_plan=entry.fault_plan)
+                heal_pool(service)
+            else:
+                result = harness.run(entry)
             spec = specs.get(name, specs.get("*", DEFAULT_SLO))
             attach_slo(result, spec.evaluate(result))
             results.append(result)
@@ -162,6 +225,7 @@ def main(argv=None) -> int:
         "duration": args.duration, "rate": args.rate, "seed": args.seed,
         "k": args.k, "rerank": not args.no_rerank,
         "batch_size": args.batch_size, "max_wait_ms": args.max_wait_ms,
+        "replicas": args.replicas, "process_replicas": args.process_replicas,
         "entities_per_domain": args.entities_per_domain,
         "mentions_per_domain": args.mentions_per_domain,
     }

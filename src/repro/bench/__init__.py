@@ -32,6 +32,7 @@ from .slo import SLOCheck, SLOReport, SLOSpec, load_slo_file
 from .workloads import (
     BurstyArrivals,
     ClosedLoopArrivals,
+    ClusterScenario,
     PoissonArrivals,
     RampArrivals,
     Schedule,
@@ -39,6 +40,7 @@ from .workloads import (
     UniformMentionSampler,
     Workload,
     ZipfMentionSampler,
+    cluster_scenario_catalogue,
     mentions_by_world,
     scenario_catalogue,
 )
@@ -47,6 +49,7 @@ __all__ = [
     "BENCH_FILES",
     "BurstyArrivals",
     "ClosedLoopArrivals",
+    "ClusterScenario",
     "ComparisonReport",
     "LoadHarness",
     "MetricCheck",
@@ -62,6 +65,7 @@ __all__ = [
     "Workload",
     "ZipfMentionSampler",
     "attach_slo",
+    "cluster_scenario_catalogue",
     "compare",
     "flatten_metrics",
     "load_all_baselines",

@@ -6,13 +6,25 @@ actually did under that traffic:
 
 * **per-request latency** — submit → completion, captured with a done
   callback so the measurement does not depend on the drain order;
-* **queue depth** — ``service.pending`` sampled on a background ticker plus
-  the service's exact :attr:`~repro.serving.service.LinkingService.peak_pending`
+* **queue depth** — ``service.pending`` (or any custom ``depth_fn``, e.g. a
+  single replica's queue) sampled on a background ticker plus the service's
+  exact :attr:`~repro.serving.service.LinkingService.peak_pending`
   high-watermark;
 * **per-world accuracy** — completed results grouped by mention domain;
-* **errors and timeouts** — pipeline exceptions vs requests abandoned after
-  ``request_timeout`` (abandoned futures are cancelled so they release
-  their batch slot).
+* **errors, timeouts and rejections** — pipeline exceptions vs requests
+  abandoned after ``request_timeout`` (abandoned futures are cancelled so
+  they release their batch slot) vs requests shed by cluster admission
+  control (:class:`~repro.serving.cluster.RejectedError`), each counted
+  separately.
+
+The harness drives anything with the service API — a single
+:class:`~repro.serving.service.LinkingService` or a cluster
+:class:`~repro.serving.cluster.Router`.  Against a router, a
+:class:`~repro.serving.cluster.FaultPlan` can be handed to :meth:`run`:
+a background injector replays the scripted replica injuries (kill / slow /
+freeze / …) at their scheduled offsets while the scenario runs, and the
+events actually applied are recorded on the result — this is how the
+degraded-replica scenarios in ``BENCH_cluster.json`` are produced.
 
 Open-loop schedules are paced by their precomputed arrival offsets — the
 harness never waits for a response before submitting the next request, so
@@ -34,11 +46,12 @@ import time
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..kb.entity import Mention
+from ..serving.cluster import FaultPlan, RejectedError, Router
 from ..serving.pipeline import LinkingResult
 from ..serving.service import LinkingService
 from .workloads import CLOSED_LOOP, Schedule, Workload
@@ -59,6 +72,12 @@ class ScenarioResult:
     requests; ``queue_depth`` holds the sampled ``max/mean/samples`` plus
     the service's exact ``peak``; ``accuracy`` has the overall fraction and
     a per-world breakdown (``{world: {correct, total, accuracy}}``).
+
+    ``rejected`` counts requests shed by cluster admission control — shed
+    is *intentional* backpressure, so it is tracked apart from errors and
+    bounded by its own SLO criterion (``max_reject_rate``).  ``faults``
+    lists the fault-plan events actually applied during the run (empty
+    list when a plan was given, ``None`` when none was).
     """
 
     scenario: str
@@ -74,13 +93,26 @@ class ScenarioResult:
     queue_depth: Dict[str, float]
     accuracy: Dict[str, object]
     slo: Optional[Dict[str, object]] = None
+    rejected: int = 0
+    faults: Optional[List[Dict[str, object]]] = None
 
     @property
     def error_rate(self) -> float:
-        """Failed or abandoned requests as a fraction of all submitted."""
+        """Failed or abandoned requests as a fraction of all submitted.
+
+        Shed requests are excluded — rejection is the cluster *working as
+        configured*, policed separately via :attr:`reject_rate`.
+        """
         if self.requests == 0:
             return 0.0
         return (self.errors + self.timeouts) / self.requests
+
+    @property
+    def reject_rate(self) -> float:
+        """Requests shed by admission control as a fraction of submitted."""
+        if self.requests == 0:
+            return 0.0
+        return self.rejected / self.requests
 
     def to_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
@@ -97,7 +129,11 @@ class ScenarioResult:
             "latency_ms": {k: round(v, 3) for k, v in self.latency_ms.items()},
             "queue_depth": {k: round(float(v), 3) for k, v in self.queue_depth.items()},
             "accuracy": self.accuracy,
+            "rejected": self.rejected,
+            "reject_rate": round(self.reject_rate, 6),
         }
+        if self.faults is not None:
+            payload["faults"] = self.faults
         if self.slo is not None:
             payload["slo"] = self.slo
         return payload
@@ -114,13 +150,21 @@ class _RequestRecord:
     result: Optional[LinkingResult] = None
     failed: bool = False
     timed_out: bool = False
+    rejected: bool = False
 
 
 class _QueueDepthTicker:
-    """Background sampler of ``service.pending`` at a fixed interval."""
+    """Background sampler of an arbitrary depth function at a fixed interval.
 
-    def __init__(self, service: LinkingService, interval: float) -> None:
-        self._service = service
+    The default harness wiring samples the service's aggregate ``pending``;
+    any zero-argument callable works — a cluster router's total depth, a
+    single replica's queue, or a composite.  A sampling error (e.g. probing
+    a replica mid-teardown) records a ``0`` rather than killing the ticker
+    thread mid-scenario.
+    """
+
+    def __init__(self, depth_fn: Callable[[], int], interval: float) -> None:
+        self._depth_fn = depth_fn
         self._interval = interval
         self._samples: List[int] = []
         self._stop = threading.Event()
@@ -130,7 +174,11 @@ class _QueueDepthTicker:
 
     def _run(self) -> None:
         while not self._stop.is_set():
-            self._samples.append(self._service.pending)
+            try:
+                depth = int(self._depth_fn())
+            except Exception:
+                depth = 0
+            self._samples.append(depth)
             self._stop.wait(self._interval)
 
     def __enter__(self) -> "_QueueDepthTicker":
@@ -152,13 +200,72 @@ class _QueueDepthTicker:
         }
 
 
+class _FaultPlanRunner:
+    """Background injector replaying a :class:`FaultPlan` during a scenario.
+
+    Events fire at their scheduled offset from scenario start; each applied
+    event is recorded with the offset it *actually* fired at.  When the
+    scenario finishes before the plan does, the remaining events are
+    recorded as skipped — a chaos scenario that silently outlives its
+    injuries would otherwise look like a clean pass.
+    """
+
+    def __init__(self, service, plan: FaultPlan, started: float) -> None:
+        self._service = service
+        self._plan = plan
+        self._started = started
+        self.applied: List[Dict[str, object]] = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="fault-plan-runner", daemon=True
+        )
+
+    def _run(self) -> None:
+        for event in self._plan.events:
+            delay = self._started + event.at - time.perf_counter()
+            if delay > 0 and self._stop.wait(delay):
+                break
+            if self._stop.is_set():
+                break
+            entry: Dict[str, object] = {
+                "action": event.action,
+                "replica": event.replica,
+                "value": event.value,
+                "scheduled_at": event.at,
+            }
+            try:
+                self._service.apply_fault(event)
+                entry["applied_at"] = round(time.perf_counter() - self._started, 4)
+            except Exception as error:
+                entry["error"] = f"{type(error).__name__}: {error}"
+            self.applied.append(entry)
+        for event in self._plan.events[len(self.applied):]:
+            self.applied.append({
+                "action": event.action,
+                "replica": event.replica,
+                "value": event.value,
+                "scheduled_at": event.at,
+                "skipped": True,
+            })
+
+    def __enter__(self) -> "_FaultPlanRunner":
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self._stop.set()
+        self._thread.join(timeout=30.0)
+
+
 class LoadHarness:
     """Drive one scenario at a time against a running :class:`LinkingService`.
 
     Parameters
     ----------
     service:
-        A started service; the harness does not own its lifecycle.
+        A started service (or cluster :class:`~repro.serving.cluster.Router`
+        — anything exposing the submit/pending/stats surface); the harness
+        does not own its lifecycle.
     tick_interval:
         Queue-depth sampling period of the background ticker (seconds).
     request_timeout:
@@ -167,14 +274,19 @@ class LoadHarness:
     reset_stats:
         Reset the pipeline's :class:`~repro.serving.pipeline.PipelineStats`
         before each run so scenario latency windows do not bleed together.
+    depth_fn:
+        What the queue-depth ticker samples.  Defaults to the service's
+        aggregate ``pending``; pass e.g. ``lambda: router.depths()[2]`` to
+        watch one replica's queue instead.
     """
 
     def __init__(
         self,
-        service: LinkingService,
+        service: Union[LinkingService, Router],
         tick_interval: float = DEFAULT_TICK_INTERVAL,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         reset_stats: bool = True,
+        depth_fn: Optional[Callable[[], int]] = None,
     ) -> None:
         if tick_interval <= 0:
             raise ValueError("tick_interval must be positive")
@@ -184,14 +296,30 @@ class LoadHarness:
         self.tick_interval = tick_interval
         self.request_timeout = request_timeout
         self.reset_stats = reset_stats
+        self.depth_fn: Callable[[], int] = (
+            depth_fn if depth_fn is not None else lambda: self.service.pending
+        )
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def run(
-        self, workload: Union[Workload, Schedule], name: Optional[str] = None
+        self,
+        workload: Union[Workload, Schedule],
+        name: Optional[str] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> ScenarioResult:
-        """Replay one workload/schedule and collect a :class:`ScenarioResult`."""
+        """Replay one workload/schedule and collect a :class:`ScenarioResult`.
+
+        ``fault_plan`` (cluster targets only) is replayed in the background
+        while the scenario runs; the applied events land on
+        :attr:`ScenarioResult.faults`.
+        """
+        if fault_plan is not None and not hasattr(self.service, "apply_fault"):
+            raise ValueError(
+                "fault_plan requires a target with apply_fault() — a cluster "
+                "Router, not a bare LinkingService"
+            )
         if isinstance(workload, Workload):
             schedule = workload.schedule()
             scenario = name or workload.name or type(workload.arrivals).__name__
@@ -209,19 +337,32 @@ class LoadHarness:
             self.service.stats.reset()
         self.service.reset_peak_pending()
 
-        with _QueueDepthTicker(self.service, self.tick_interval) as ticker:
+        faults: Optional[List[Dict[str, object]]] = None
+        with _QueueDepthTicker(self.depth_fn, self.tick_interval) as ticker:
             started = time.perf_counter()
-            if schedule.kind == CLOSED_LOOP:
-                records = self._drive_closed_loop(schedule)
-            else:
-                records = self._drive_open_loop(schedule)
-            self._drain(records)
+            injector = (
+                _FaultPlanRunner(self.service, fault_plan, started)
+                if fault_plan is not None else None
+            )
+            try:
+                if injector is not None:
+                    injector.__enter__()
+                if schedule.kind == CLOSED_LOOP:
+                    records = self._drive_closed_loop(schedule)
+                else:
+                    records = self._drive_open_loop(schedule)
+                self._drain(records)
+            finally:
+                if injector is not None:
+                    injector.__exit__(None, None, None)
+                    faults = injector.applied
             wall_seconds = self._wall_seconds(records, started)
         queue_depth = ticker.summary()
         queue_depth["peak"] = float(self.service.peak_pending)
 
         return self._summarise(
-            scenario, schedule, seed, records, wall_seconds, queue_depth
+            scenario, schedule, seed, records, wall_seconds, queue_depth,
+            faults=faults,
         )
 
     # ------------------------------------------------------------------
@@ -326,6 +467,8 @@ class LoadHarness:
                 record.timed_out = True
             except CancelledError:
                 record.timed_out = True
+            except RejectedError:
+                record.rejected = True
             except Exception:
                 record.failed = True
 
@@ -345,10 +488,12 @@ class LoadHarness:
         records: List[_RequestRecord],
         wall_seconds: float,
         queue_depth: Dict[str, float],
+        faults: Optional[List[Dict[str, object]]] = None,
     ) -> ScenarioResult:
         completed = [r for r in records if r.result is not None]
         errors = sum(1 for r in records if r.failed)
         timeouts = sum(1 for r in records if r.timed_out)
+        rejected = sum(1 for r in records if r.rejected)
 
         latencies = np.asarray(
             [
@@ -400,4 +545,6 @@ class LoadHarness:
             latency_ms=latency_ms,
             queue_depth=queue_depth,
             accuracy=accuracy,
+            rejected=rejected,
+            faults=faults,
         )

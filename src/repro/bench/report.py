@@ -81,7 +81,8 @@ def render_markdown(
     sections = [f"# {title}", ""]
     sections.append(_table(
         ["scenario", "kind", "requests", "throughput (req/s)", "p50 (ms)",
-         "p99 (ms)", "peak queue", "errors", "timeouts", "accuracy", "SLO"],
+         "p99 (ms)", "peak queue", "errors", "timeouts", "rejected",
+         "accuracy", "SLO"],
         [
             [
                 result.scenario,
@@ -93,6 +94,7 @@ def render_markdown(
                 int(result.queue_depth.get("peak", result.queue_depth.get("max", 0))),
                 result.errors,
                 result.timeouts,
+                result.rejected,
                 f"{float(result.accuracy['overall']):.3f}",
                 _verdict(result),
             ]

@@ -82,7 +82,10 @@ class SLOSpec:
     Latency bounds are milliseconds over completed requests; throughput is
     completed requests per wall-clock second; accuracy is the overall
     correct fraction; the error rate counts both pipeline errors and
-    harness timeouts against all submitted requests.
+    harness timeouts against all submitted requests.  The reject rate
+    bounds cluster admission-control sheds separately — a degraded-replica
+    scenario can tolerate some shedding (that *is* graceful degradation)
+    while still failing on real errors.
     """
 
     name: str = "default"
@@ -91,6 +94,7 @@ class SLOSpec:
     min_throughput: Optional[float] = None
     min_accuracy: Optional[float] = None
     max_error_rate: Optional[float] = None
+    max_reject_rate: Optional[float] = None
 
     def evaluate(self, result: ScenarioResult) -> SLOReport:
         checks = []
@@ -121,6 +125,11 @@ class SLOSpec:
             checks.append(SLOCheck(
                 "error_rate", "<=", self.max_error_rate, result.error_rate,
                 result.error_rate <= self.max_error_rate,
+            ))
+        if self.max_reject_rate is not None:
+            checks.append(SLOCheck(
+                "reject_rate", "<=", self.max_reject_rate, result.reject_rate,
+                result.reject_rate <= self.max_reject_rate,
             ))
         return SLOReport(spec_name=self.name, checks=tuple(checks))
 

@@ -430,3 +430,99 @@ def scenario_catalogue(
             uniform, seed, name="closed_loop",
         ),
     }
+
+
+# ----------------------------------------------------------------------
+# Cluster (degraded-replica) scenarios
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One cluster load scenario: a workload plus an optional fault script.
+
+    The workload is deterministic as usual; the
+    :class:`~repro.serving.cluster.FaultPlan` describes the replica
+    injuries the harness injects while the workload runs.  ``description``
+    states what graceful degradation means for the scenario — the SLO that
+    should *still* pass with the fault active.
+    """
+
+    name: str
+    workload: Workload
+    fault_plan: Optional["FaultPlan"] = None
+    description: str = ""
+
+
+def cluster_scenario_catalogue(
+    pools: Mapping[str, Sequence[Mention]],
+    replicas: int = 4,
+    seed: int = 13,
+    duration: float = 2.0,
+    rate: float = 150.0,
+) -> Dict[str, ClusterScenario]:
+    """Degraded-replica scenarios for a ``replicas``-wide pool.
+
+    * ``cluster_steady`` — the healthy baseline: steady Poisson traffic, no
+      faults (the reference the degraded runs are judged against).
+    * ``kill_replica`` — replica ``replicas - 1`` is killed 40% into the
+      run; its queued and in-flight requests must be requeued, none lost.
+    * ``slow_replica`` — replica 0 gains a per-batch delay 20% in; the
+      router's least-pending balancing should route around it.
+    * ``freeze_thaw`` — replica 0 freezes for the middle third of the run,
+      then thaws; its backlog must drain without timeouts.
+
+    Fault times scale with ``duration`` so shorter smoke runs exercise the
+    same phases.  All scenarios share one ``seed`` — the arrival schedule
+    under a fault is byte-identical to the healthy baseline's, so any
+    difference in the measurements is the fault, not the traffic.
+    """
+    from ..serving.cluster import FaultPlan  # late: avoid import cycle
+
+    if replicas <= 1:
+        raise ValueError("cluster scenarios need at least 2 replicas")
+    uniform = UniformMentionSampler(pools)
+
+    def steady(name: str) -> Workload:
+        return Workload(
+            PoissonArrivals(rate=rate, duration=duration), uniform, seed,
+            name=name,
+        )
+
+    return {
+        "cluster_steady": ClusterScenario(
+            name="cluster_steady",
+            workload=steady("cluster_steady"),
+            description="healthy pool baseline; full SLO must pass",
+        ),
+        "kill_replica": ClusterScenario(
+            name="kill_replica",
+            workload=steady("kill_replica"),
+            fault_plan=FaultPlan.kill(at=duration * 0.4, replica=replicas - 1),
+            description=(
+                "one replica dies mid-run; in-flight requests requeue, "
+                "zero lost, degraded latency allowed"
+            ),
+        ),
+        "slow_replica": ClusterScenario(
+            name="slow_replica",
+            workload=steady("slow_replica"),
+            fault_plan=FaultPlan.slow(
+                at=duration * 0.2, replica=0, delay=0.05
+            ),
+            description=(
+                "one replica turns slow; balancing routes new traffic to "
+                "the healthy replicas"
+            ),
+        ),
+        "freeze_thaw": ClusterScenario(
+            name="freeze_thaw",
+            workload=steady("freeze_thaw"),
+            fault_plan=FaultPlan.freeze_thaw(
+                freeze_at=duration / 3.0, thaw_at=2.0 * duration / 3.0,
+                replica=0,
+            ),
+            description=(
+                "one replica stalls for the middle third, then recovers; "
+                "its backlog must drain without timeouts"
+            ),
+        ),
+    }

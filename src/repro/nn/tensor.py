@@ -22,7 +22,13 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_grad_enabled = True
+#: Whether operations record gradient information.  Thread-local, like
+#: ``_compute_dtype_state`` below: serving replicas run ``no_grad`` forward
+#: passes on their own scheduler threads, and with a process-global flag two
+#: interleaved enter/exit pairs can restore each other's snapshots and leave
+#: gradients disabled for the whole process (breaking any training that runs
+#: afterwards).  Each thread starts with gradients enabled.
+_grad_state = threading.local()
 
 #: Requested inference compute dtype, or None for the native float64 path.
 #: Thread-local so a ``compute_dtype`` block on one thread (e.g. a caller of
@@ -41,19 +47,17 @@ class no_grad:
     """
 
     def __enter__(self) -> "no_grad":
-        global _grad_enabled
-        self._previous = _grad_enabled
-        _grad_enabled = False
+        self._previous = is_grad_enabled()
+        _grad_state.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        global _grad_enabled
-        _grad_enabled = self._previous
+        _grad_state.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradient information."""
-    return _grad_enabled
+    """Whether operations on *this thread* record gradient information."""
+    return getattr(_grad_state, "enabled", True)
 
 
 class compute_dtype:
@@ -94,7 +98,7 @@ def active_compute_dtype() -> Optional[np.dtype]:
     inference-only.
     """
     dtype = getattr(_compute_dtype_state, "value", None)
-    if _grad_enabled or dtype is None or dtype == np.float64:
+    if is_grad_enabled() or dtype is None or dtype == np.float64:
         return None
     return dtype
 

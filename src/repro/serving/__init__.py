@@ -11,6 +11,13 @@ cross-encoder reranking) into a production-shaped serving path:
   ``max_wait_ms``), per-request futures and latency percentiles.
 * :mod:`repro.serving.stages` — the vectorized stage implementations and the
   :class:`~repro.serving.stages.PipelineBatch` carrier they transform.
+* :mod:`repro.serving.cluster` — the multi-worker tier: a
+  :class:`~repro.serving.cluster.ReplicaPool` of pipeline clones behind a
+  :class:`~repro.serving.cluster.Router` with world-affinity dispatch,
+  least-pending balancing, admission control (explicit
+  :class:`~repro.serving.cluster.RejectedError` sheds) and automatic requeue
+  from dead replicas, plus :class:`~repro.serving.cluster.FaultPlan` scripts
+  for chaos testing.
 
 Quickstart::
 
@@ -24,8 +31,28 @@ Quickstart::
         service.warm_up()
         future = service.submit(mentions[0])      # one request at a time
         print(future.result().predicted_entity_id)
+
+    pool = ReplicaPool.from_pipeline(pipeline, replicas=4)
+    with Router(pool, admission=AdmissionPolicy(watermark=512)) as router:
+        router.warm_up()
+        print(router.link(mentions[0]).predicted_entity_id)
 """
 
+from .cluster import (
+    AdmissionPolicy,
+    ClusterStats,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    ProcessReplica,
+    RejectedError,
+    Replica,
+    ReplicaDiedError,
+    ReplicaHealth,
+    ReplicaPool,
+    Router,
+    ThreadReplica,
+)
 from .pipeline import (
     DEFAULT_BATCH_SIZE,
     EntityLinkingPipeline,
@@ -44,12 +71,25 @@ from .stages import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "ClusterStats",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_MAX_WAIT_MS",
     "EntityLinkingPipeline",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "LinkingResult",
     "LinkingService",
     "PipelineStats",
+    "ProcessReplica",
+    "RejectedError",
+    "Replica",
+    "ReplicaDiedError",
+    "ReplicaHealth",
+    "ReplicaPool",
+    "Router",
+    "ThreadReplica",
     "PipelineBatch",
     "MentionTokens",
     "TokenizeStage",

@@ -1,0 +1,1322 @@
+"""Replica pool + router: multi-worker serving with load shedding.
+
+The single :class:`~repro.serving.service.LinkingService` caps throughput at
+one scheduler thread feeding one pipeline, and any stall freezes the whole
+service.  This module scales the front door out to N workers:
+
+* :class:`Replica` — the worker interface: submit/pending/probe plus the
+  lifecycle verbs (``drain``, ``kill``) and fault hooks (``set_delay``,
+  ``freeze``/``unfreeze``) the chaos tests drive.
+* :class:`ThreadReplica` — a replica backed by its own scheduler thread and
+  an :meth:`~repro.serving.pipeline.EntityLinkingPipeline.clone` of the
+  pipeline; the heavyweight read-only state (encoder weights, the index
+  snapshot) is shared across the pool.
+* :class:`ProcessReplica` — the same interface backed by a worker *process*
+  (fork by default); batches cross a pipe, faults and batching stay on the
+  parent side, so every lifecycle/fault path behaves identically.
+* :class:`ReplicaPool` — owns the replica slots and their factories:
+  graceful drain, restart (a fresh clone from the shared snapshot state),
+  kill, and construction straight from an on-disk index snapshot.
+* :class:`Router` — the front door.  Exposes the familiar service API
+  (``submit`` / ``link`` / ``close`` / ``warm_up`` / ``pending`` /
+  ``peak_pending`` / ``stats``) over the pool with:
+
+  - **world-affinity dispatch** — a mention's world hashes to a home
+    replica, keeping per-world cache locality, falling back to balancing
+    only when the home replica is unhealthy;
+  - **least-pending balancing** — ties broken by a seeded permutation, so
+    the same seed and replica count always produce the same assignment;
+  - **per-class admission control** — when the aggregate pending depth
+    (the live value behind the ``peak_pending`` high-watermark) crosses the
+    class's watermark, the submit is *shed*: the returned future already
+    holds a :class:`RejectedError`.  Shedding is explicit and immediate,
+    never a timeout;
+  - **automatic requeue** — a dead replica's in-flight requests fail with
+    :class:`ReplicaDiedError` and the router resubmits them to healthy
+    replicas; callers only see an error when every retry is exhausted.
+
+* :class:`FaultPlan` — a timed script of replica injuries (kill / slow /
+  freeze / unfreeze / drain / restart) that the load harness replays
+  against the router mid-scenario, so the degraded-replica benchmarks can
+  assert graceful degradation instead of collapse.
+
+Example::
+
+    pool = ReplicaPool.from_pipeline(pipeline, replicas=4)
+    router = Router(pool, admission=AdmissionPolicy(watermark=512), seed=13)
+    router.warm_up()
+    future = router.submit(mention)             # routed + balanced
+    result = future.result(timeout=1.0)
+    router.stats.snapshot()["aggregate"]        # merged per-replica counters
+    router.close()
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..kb.entity import Mention
+from ..linking.biencoder import BiEncoder
+from ..linking.crossencoder import CrossEncoder
+from .pipeline import (
+    DEFAULT_BATCH_SIZE,
+    LATENCY_WINDOW,
+    EntityLinkingPipeline,
+    LinkingResult,
+    PipelineStats,
+)
+from .service import DEFAULT_MAX_WAIT_MS, LinkingService, warm_up_index
+
+#: Replica lifecycle states.
+HEALTHY = "healthy"
+DRAINING = "draining"
+STOPPED = "stopped"
+DEAD = "dead"
+
+#: Poll period of loops that must stay responsive to kill/unfreeze (seconds).
+FAULT_POLL_SECONDS = 0.02
+
+#: Recognised fault-plan actions.
+FAULT_ACTIONS = ("kill", "slow", "freeze", "unfreeze", "drain", "restart")
+
+
+class RejectedError(RuntimeError):
+    """A submit shed by admission control — the service is over its watermark.
+
+    Raised *through the returned future*, immediately at submit time: a shed
+    request never occupies a queue slot and never times out.
+    """
+
+
+class ReplicaDiedError(RuntimeError):
+    """A replica died (kill/crash) with this request outstanding.
+
+    The router treats this error as retryable and requeues the request on a
+    healthy replica; callers only observe it when no healthy replica remains
+    or the retry budget is exhausted.
+    """
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Per-replica fault switchboard: slow-down, freeze and thaw.
+
+    The replica's scheduler passes through :meth:`pause_point` before every
+    batch.  ``freeze`` holds it there (queue depth grows, nothing completes)
+    until :meth:`unfreeze` — or until the replica is aborted, so a kill
+    always releases a frozen worker.  ``set_delay`` adds a per-batch sleep,
+    modelling a degraded-but-alive replica the router should route around.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._resume = threading.Condition(self._lock)
+        self._delay = 0.0
+        self._frozen = False
+
+    @property
+    def delay(self) -> float:
+        with self._lock:
+            return self._delay
+
+    @property
+    def frozen(self) -> bool:
+        with self._lock:
+            return self._frozen
+
+    def set_delay(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("delay must be non-negative")
+        with self._lock:
+            self._delay = seconds
+
+    def freeze(self) -> None:
+        with self._lock:
+            self._frozen = True
+
+    def unfreeze(self) -> None:
+        with self._lock:
+            self._frozen = False
+            self._resume.notify_all()
+
+    def pause_point(self, aborted: Callable[[], bool]) -> None:
+        """Block while frozen, then serve the injected delay.
+
+        ``aborted`` is polled so a killed replica escapes both the freeze
+        and the delay within :data:`FAULT_POLL_SECONDS`.
+        """
+        with self._resume:
+            while self._frozen and not aborted():
+                self._resume.wait(timeout=FAULT_POLL_SECONDS)
+            delay = self._delay
+        if delay > 0:
+            deadline = time.perf_counter() + delay
+            while not aborted():
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                time.sleep(min(FAULT_POLL_SECONDS, remaining))
+
+
+class _FaultableService(LinkingService):
+    """A :class:`LinkingService` whose flushes pass through a fault gate."""
+
+    def __init__(self, pipeline, faults: FaultInjector, **kwargs) -> None:
+        self._faults = faults
+        super().__init__(pipeline, **kwargs)
+
+    def _flush(self, batch) -> None:
+        self._faults.pause_point(lambda: self.aborted)
+        super()._flush(batch)
+
+
+# ----------------------------------------------------------------------
+# Replicas
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReplicaHealth:
+    """One health probe: lifecycle state plus live queue/progress counters."""
+
+    replica_id: int
+    name: str
+    state: str
+    alive: bool
+    pending: int
+    processed: int
+    frozen: bool
+    delay: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "replica_id": self.replica_id,
+            "name": self.name,
+            "state": self.state,
+            "alive": self.alive,
+            "pending": self.pending,
+            "processed": self.processed,
+            "frozen": self.frozen,
+            "delay": self.delay,
+        }
+
+
+class Replica:
+    """Interface of one pool worker; see :class:`ThreadReplica` for the
+    canonical implementation and :class:`ProcessReplica` for the
+    process-backed one.
+
+    A replica accepts single-mention submits (returning futures), owns its
+    own dynamic micro-batching, and supports two shutdown modes: ``drain``
+    (graceful — queued work completes) and ``kill`` (crash-style — every
+    outstanding future fails with :class:`ReplicaDiedError` so the router
+    can requeue).
+    """
+
+    replica_id: int = 0
+    name: str = "replica"
+
+    @property
+    def state(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def pending(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> PipelineStats:
+        raise NotImplementedError
+
+    def submit(self, mention: Mention) -> "Future[LinkingResult]":
+        raise NotImplementedError
+
+    def probe(self) -> ReplicaHealth:
+        raise NotImplementedError
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        raise NotImplementedError
+
+    def kill(self) -> int:
+        raise NotImplementedError
+
+    def set_delay(self, seconds: float) -> None:
+        raise NotImplementedError
+
+    def freeze(self) -> None:
+        raise NotImplementedError
+
+    def unfreeze(self) -> None:
+        raise NotImplementedError
+
+
+class ThreadReplica(Replica):
+    """A replica backed by its own scheduler thread and pipeline clone.
+
+    Parameters
+    ----------
+    pipeline:
+        This replica's own pipeline (typically
+        :meth:`~repro.serving.pipeline.EntityLinkingPipeline.clone` of a
+        shared base, so the index snapshot and encoder weights are shared
+        read-only while stats and stage objects are private).
+    replica_id / name:
+        Slot index and display name within the pool.
+    max_batch_size / max_wait_ms:
+        Dynamic micro-batching knobs, as on :class:`LinkingService`.
+    """
+
+    def __init__(
+        self,
+        pipeline: EntityLinkingPipeline,
+        replica_id: int = 0,
+        name: Optional[str] = None,
+        max_batch_size: Optional[int] = None,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        start: bool = True,
+    ) -> None:
+        self.replica_id = replica_id
+        self.name = name or f"replica-{replica_id}"
+        self.pipeline = pipeline
+        self.faults = FaultInjector()
+        self._state_lock = threading.Lock()
+        self._state = HEALTHY
+        self._service = _FaultableService(
+            pipeline, self.faults,
+            max_batch_size=max_batch_size, max_wait_ms=max_wait_ms, start=start,
+        )
+
+    # -- state ----------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._state_lock:
+            state = self._state
+        if state == HEALTHY and not self._service.running:
+            # The scheduler thread died without going through drain/kill —
+            # report it dead so the router stops routing here.
+            with self._state_lock:
+                if self._state == HEALTHY:
+                    self._state = DEAD
+                state = self._state
+        return state
+
+    def _set_state(self, state: str) -> None:
+        with self._state_lock:
+            self._state = state
+
+    @property
+    def pending(self) -> int:
+        # Outstanding (queued + in-flight), so least-pending balancing sees
+        # a replica that is mid-batch as busy, not idle.
+        return self._service.outstanding
+
+    @property
+    def stats(self) -> PipelineStats:
+        return self.pipeline.stats
+
+    # -- request path ---------------------------------------------------
+    def submit(self, mention: Mention) -> "Future[LinkingResult]":
+        if self.state != HEALTHY:
+            raise ReplicaDiedError(f"{self.name} is {self.state}")
+        try:
+            return self._service.submit(mention)
+        except RuntimeError as error:
+            # Lost the race against a concurrent drain/kill: surface it as
+            # a retryable replica error so the router re-picks.
+            raise ReplicaDiedError(f"{self.name} rejected submit: {error}") from error
+
+    # -- lifecycle ------------------------------------------------------
+    def probe(self) -> ReplicaHealth:
+        return ReplicaHealth(
+            replica_id=self.replica_id,
+            name=self.name,
+            state=self.state,
+            alive=self._service.running,
+            pending=self.pending,
+            processed=self.pipeline.stats.mentions,
+            frozen=self.faults.frozen,
+            delay=self.faults.delay,
+        )
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Graceful stop: no new submits, queued requests complete."""
+        self._set_state(DRAINING)
+        self.faults.unfreeze()  # a frozen replica must still drain
+        self._service.close(timeout=timeout)
+        self._set_state(STOPPED)
+
+    def kill(self) -> int:
+        """Crash-style stop: fail all outstanding work with
+        :class:`ReplicaDiedError`; returns how many requests were failed.
+
+        The outstanding futures are failed (and requeued by the router)
+        immediately; the scheduler thread is then reaped so no stray
+        inference keeps running after the replica is declared dead.
+        """
+        self._set_state(DEAD)
+        failed = self._service.abort(ReplicaDiedError(f"{self.name} was killed"))
+        self._service.close(timeout=5.0)
+        return failed
+
+    # -- fault hooks ----------------------------------------------------
+    def set_delay(self, seconds: float) -> None:
+        self.faults.set_delay(seconds)
+
+    def freeze(self) -> None:
+        self.faults.freeze()
+
+    def unfreeze(self) -> None:
+        self.faults.unfreeze()
+
+
+# ----------------------------------------------------------------------
+# Process-backed replica
+# ----------------------------------------------------------------------
+def _process_worker_main(conn, pipeline: EntityLinkingPipeline) -> None:
+    """Loop of the worker process: receive a batch, link it, send results."""
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "batch":
+                try:
+                    conn.send(("results", pipeline.link(message[1])))
+                except Exception as error:  # surface, do not kill the worker
+                    conn.send(("error", f"{type(error).__name__}: {error}"))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away or terminated us — nothing left to serve
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _PipelineProxy:
+    """Parent-side stand-in for a pipeline living in a worker process.
+
+    Implements exactly the surface :class:`LinkingService` uses — ``link``,
+    ``stats``, ``batch_size``, ``index`` — so the proxy slots into the same
+    scheduler/fault machinery as an in-process pipeline.  One batch is in
+    flight per worker at a time; the reply wait polls the child's liveness
+    so a terminated worker turns into :class:`ReplicaDiedError` (which the
+    router treats as retryable) instead of a hang.
+    """
+
+    def __init__(self, conn, batch_size: int, index) -> None:
+        self._conn = conn
+        self._io_lock = threading.Lock()
+        self.batch_size = batch_size
+        self.index = index
+        self.stats = PipelineStats()
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+
+    def link(self, mentions: Sequence[Mention]) -> List[LinkingResult]:
+        started = time.perf_counter()
+        with self._io_lock:
+            try:
+                self._conn.send(("batch", list(mentions)))
+                while not self._conn.poll(FAULT_POLL_SECONDS):
+                    if self.process is not None and not self.process.is_alive():
+                        raise ReplicaDiedError("worker process died mid-batch")
+                kind, payload = self._conn.recv()
+            except (EOFError, OSError, BrokenPipeError) as error:
+                raise ReplicaDiedError(f"worker pipe closed: {error}") from error
+        if kind == "error":
+            raise RuntimeError(payload)
+        self.stats.record("remote", time.perf_counter() - started)
+        self.stats.record_batch(len(mentions))
+        return payload
+
+
+class ProcessReplica(ThreadReplica):
+    """A replica whose pipeline runs in a separate worker process.
+
+    The parent keeps the dynamic batching, fault gate and lifecycle logic of
+    :class:`ThreadReplica`; only ``pipeline.link`` crosses the process
+    boundary (one micro-batch per round trip).  The default ``fork`` start
+    method inherits the parent's pipeline memory copy-on-write — create the
+    pool (or restart a replica) while no traffic flows, as with index
+    warm-up.  ``spawn`` also works when every pipeline component pickles.
+
+    ``kill()`` additionally terminates the worker process, modelling a hard
+    machine failure; ``drain()`` stops it gracefully after the queue
+    flushes.
+    """
+
+    def __init__(
+        self,
+        pipeline: EntityLinkingPipeline,
+        replica_id: int = 0,
+        name: Optional[str] = None,
+        max_batch_size: Optional[int] = None,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        start: bool = True,
+        mp_context: str = "fork",
+    ) -> None:
+        context = multiprocessing.get_context(mp_context)
+        parent_conn, child_conn = context.Pipe()
+        proxy = _PipelineProxy(
+            parent_conn, batch_size=pipeline.batch_size, index=pipeline.index
+        )
+        self._process = context.Process(
+            target=_process_worker_main,
+            args=(child_conn, pipeline),
+            name=name or f"replica-{replica_id}-worker",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        proxy.process = self._process
+        super().__init__(
+            proxy,  # type: ignore[arg-type] - duck-typed pipeline surface
+            replica_id=replica_id,
+            name=name or f"replica-{replica_id}",
+            max_batch_size=max_batch_size or pipeline.batch_size,
+            max_wait_ms=max_wait_ms,
+            start=start,
+        )
+
+    @property
+    def process_alive(self) -> bool:
+        return self._process.is_alive()
+
+    def probe(self) -> ReplicaHealth:
+        health = super().probe()
+        if health.state == HEALTHY and not self._process.is_alive():
+            self._set_state(DEAD)
+            health = super().probe()
+        return health
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        super().drain(timeout=timeout)
+        try:
+            self.pipeline._conn.send(("stop",))
+        except (OSError, BrokenPipeError):
+            pass
+        self._process.join(timeout=timeout or 5.0)
+
+    def kill(self) -> int:
+        # Terminate the worker BEFORE reaping the scheduler thread: the
+        # scheduler may be blocked in the proxy waiting for a reply, and it
+        # only bails out once it observes the process is gone.
+        self._set_state(DEAD)
+        failed = self._service.abort(ReplicaDiedError(f"{self.name} was killed"))
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._service.close(timeout=5.0)
+        return failed
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-class watermarks on the aggregate pending depth.
+
+    A submit of class ``c`` is admitted while the router's aggregate pending
+    count is *below* ``limit_for(c)``; at or above it, the request is shed
+    with :class:`RejectedError`.  Unlisted classes use ``watermark``.  Lower
+    watermarks for best-effort classes make background traffic yield first:
+    ``AdmissionPolicy(watermark=512, per_class={"batch": 64})`` sheds bulk
+    work at depth 64 while interactive requests ride to 512.
+    """
+
+    watermark: int = 1024
+    per_class: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.watermark <= 0:
+            raise ValueError("watermark must be positive")
+        for request_class, limit in self.per_class.items():
+            if limit <= 0:
+                raise ValueError(
+                    f"watermark for class {request_class!r} must be positive"
+                )
+
+    def limit_for(self, request_class: str) -> int:
+        return int(self.per_class.get(request_class, self.watermark))
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled injury: at ``at`` seconds, do ``action`` to ``replica``.
+
+    ``value`` carries the action parameter (per-batch delay seconds for
+    ``slow``); it is ignored by the other actions.
+    """
+
+    at: float
+    action: str
+    replica: int
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("event time must be non-negative")
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; known: {', '.join(FAULT_ACTIONS)}"
+            )
+        if self.replica < 0:
+            raise ValueError("replica index must be non-negative")
+        if self.value < 0:
+            raise ValueError("value must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A time-ordered script of :class:`FaultEvent` injuries.
+
+    The load harness replays the plan against the router while a scenario
+    runs (see :meth:`~repro.bench.harness.LoadHarness.run`), recording when
+    each event was actually applied.  Builders cover the common chaos
+    shapes::
+
+        FaultPlan.kill(at=1.0, replica=1)
+        FaultPlan.slow(at=0.5, replica=0, delay=0.2)
+        FaultPlan.freeze_thaw(freeze_at=0.5, thaw_at=1.0, replica=0)
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=lambda e: e.at))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def then(self, event: FaultEvent) -> "FaultPlan":
+        """A new plan with ``event`` merged in (kept time-ordered)."""
+        return FaultPlan(self.events + (event,))
+
+    @classmethod
+    def kill(cls, at: float, replica: int) -> "FaultPlan":
+        return cls((FaultEvent(at=at, action="kill", replica=replica),))
+
+    @classmethod
+    def slow(cls, at: float, replica: int, delay: float) -> "FaultPlan":
+        return cls((FaultEvent(at=at, action="slow", replica=replica, value=delay),))
+
+    @classmethod
+    def freeze_thaw(cls, freeze_at: float, thaw_at: float, replica: int) -> "FaultPlan":
+        if thaw_at < freeze_at:
+            raise ValueError("thaw_at must not precede freeze_at")
+        return cls((
+            FaultEvent(at=freeze_at, action="freeze", replica=replica),
+            FaultEvent(at=thaw_at, action="unfreeze", replica=replica),
+        ))
+
+
+# ----------------------------------------------------------------------
+# Aggregated stats
+# ----------------------------------------------------------------------
+class ClusterStats:
+    """Aggregate view over the router and every replica's pipeline stats.
+
+    Router-level counters (submits, sheds per class, requeues, deaths) and
+    the per-request latency window live here; per-replica throughput
+    counters stay in each replica's :class:`PipelineStats` and are merged on
+    demand from consistent :meth:`~PipelineStats.snapshot` copies.  Restarted
+    replicas start fresh stats — the aggregate reflects the *current* pool
+    generation, which is what capacity dashboards want.
+
+    The recovery metric: :attr:`recovery_seconds` is the gap between the
+    first replica death and the completion of the last request that had to
+    be requeued because of a death — how long the cluster took to fully
+    absorb the failure.
+    """
+
+    def __init__(self, pool: "ReplicaPool") -> None:
+        self._pool = pool
+        self._lock = threading.Lock()
+        self._latencies = deque(maxlen=LATENCY_WINDOW)
+        self._submitted = 0
+        self._completed = 0
+        self._errors = 0
+        self._shed: Dict[str, int] = {}
+        self._requeues = 0
+        self._deaths = 0
+        self._affinity_misses = 0
+        self._first_death_at: Optional[float] = None
+        self._last_requeue_done_at: Optional[float] = None
+
+    # -- recording (router hot path) ------------------------------------
+    def record_submit(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def record_completed(self, latency_seconds: float, requeued: bool) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(latency_seconds)
+            if requeued:
+                self._last_requeue_done_at = now
+
+    def record_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    def record_shed(self, request_class: str) -> None:
+        with self._lock:
+            self._shed[request_class] = self._shed.get(request_class, 0) + 1
+
+    def record_requeue(self) -> None:
+        with self._lock:
+            self._requeues += 1
+
+    def record_death(self) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self._deaths += 1
+            if self._first_death_at is None:
+                self._first_death_at = now
+
+    def record_affinity_miss(self) -> None:
+        with self._lock:
+            self._affinity_misses += 1
+
+    # -- aggregate reads -------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        with self._lock:
+            return self._submitted
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return self._completed
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return sum(self._shed.values())
+
+    def shed_by_class(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._shed)
+
+    @property
+    def requeued(self) -> int:
+        with self._lock:
+            return self._requeues
+
+    @property
+    def deaths(self) -> int:
+        with self._lock:
+            return self._deaths
+
+    @property
+    def recovery_seconds(self) -> Optional[float]:
+        with self._lock:
+            if self._first_death_at is None or self._last_requeue_done_at is None:
+                return None
+            return max(self._last_requeue_done_at - self._first_death_at, 0.0)
+
+    @property
+    def mentions(self) -> int:
+        """Mentions processed across the current pool generation."""
+        return sum(r.stats.snapshot()["mentions"] for r in self._pool.replicas)
+
+    @property
+    def batches(self) -> int:
+        return sum(r.stats.snapshot()["batches"] for r in self._pool.replicas)
+
+    def _latency_array(self) -> np.ndarray:
+        with self._lock:
+            return np.fromiter(self._latencies, dtype=np.float64)
+
+    def latency_percentile(self, percentile: float) -> float:
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        samples = self._latency_array()
+        if samples.size == 0:
+            return 0.0
+        return float(np.percentile(samples, percentile))
+
+    def latency_summary(self) -> Dict[str, float]:
+        samples = self._latency_array()
+        if samples.size == 0:
+            return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        p50, p90, p99 = np.percentile(samples, [50.0, 90.0, 99.0])
+        return {
+            "count": float(samples.size),
+            "mean": float(samples.mean()),
+            "p50": float(p50),
+            "p90": float(p90),
+            "p99": float(p99),
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """One consistent report: router counters + merged replica stats."""
+        per_replica = []
+        total_mentions = 0
+        total_batches = 0
+        stage_seconds: Dict[str, float] = {}
+        for replica in self._pool.replicas:
+            shot = replica.stats.snapshot()
+            total_mentions += shot["mentions"]
+            total_batches += shot["batches"]
+            for stage, seconds in shot["stage_seconds"].items():
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+            per_replica.append({
+                "name": replica.name,
+                "state": replica.state,
+                "pending": replica.pending,
+                "mentions": shot["mentions"],
+                "batches": shot["batches"],
+            })
+        with self._lock:
+            router = {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "errors": self._errors,
+                "shed": dict(self._shed),
+                "shed_total": sum(self._shed.values()),
+                "requeued": self._requeues,
+                "deaths": self._deaths,
+                "affinity_misses": self._affinity_misses,
+            }
+        recovery = self.recovery_seconds
+        if recovery is not None:
+            router["recovery_seconds"] = recovery
+        return {
+            "router": router,
+            "aggregate": {
+                "mentions": total_mentions,
+                "batches": total_batches,
+                "stage_seconds": stage_seconds,
+            },
+            "latency": self.latency_summary(),
+            "per_replica": per_replica,
+        }
+
+    def reset(self) -> None:
+        """Clear router counters and every live replica's pipeline stats."""
+        with self._lock:
+            self._latencies.clear()
+            self._submitted = 0
+            self._completed = 0
+            self._errors = 0
+            self._shed.clear()
+            self._requeues = 0
+            self._deaths = 0
+            self._affinity_misses = 0
+            self._first_death_at = None
+            self._last_requeue_done_at = None
+        for replica in self._pool.replicas:
+            replica.stats.reset()
+
+
+# ----------------------------------------------------------------------
+# Replica pool
+# ----------------------------------------------------------------------
+class ReplicaPool:
+    """Fixed slots of replicas plus the factories that (re)build them.
+
+    Every slot keeps a zero-argument factory so :meth:`restart` can stand up
+    a fresh generation of the same replica — for thread replicas a new
+    pipeline clone over the shared read-only index snapshot, for process
+    replicas a fresh worker process.  Slot count is fixed for the pool's
+    lifetime (the router's affinity hash depends on it).
+    """
+
+    def __init__(self, factories: Sequence[Callable[[], Replica]]) -> None:
+        if not factories:
+            raise ValueError("a pool needs at least one replica factory")
+        self._factories = list(factories)
+        self._lock = threading.Lock()
+        self._generations = [0] * len(self._factories)
+        self._replicas: List[Replica] = [factory() for factory in self._factories]
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def from_pipeline(
+        cls,
+        pipeline: EntityLinkingPipeline,
+        replicas: int = 2,
+        max_batch_size: Optional[int] = None,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        process_replicas: int = 0,
+        mp_context: str = "fork",
+    ) -> "ReplicaPool":
+        """A pool of clones of ``pipeline``: thread replicas, then
+        ``process_replicas`` process-backed ones in the last slots.
+
+        All clones share the pipeline's read-only index snapshot and encoder
+        weights; each replica owns its stats and scheduler.
+        """
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        if not 0 <= process_replicas <= replicas:
+            raise ValueError("process_replicas must be within [0, replicas]")
+
+        def thread_factory(slot: int) -> Callable[[], Replica]:
+            def build() -> Replica:
+                return ThreadReplica(
+                    pipeline.clone(), replica_id=slot,
+                    max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
+                )
+            return build
+
+        def process_factory(slot: int) -> Callable[[], Replica]:
+            def build() -> Replica:
+                return ProcessReplica(
+                    pipeline.clone(), replica_id=slot,
+                    max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
+                    mp_context=mp_context,
+                )
+            return build
+
+        threaded = replicas - process_replicas
+        factories = [thread_factory(slot) for slot in range(threaded)]
+        factories += [process_factory(slot) for slot in range(threaded, replicas)]
+        return cls(factories)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        biencoder: BiEncoder,
+        path,
+        crossencoder: Optional[CrossEncoder] = None,
+        replicas: int = 2,
+        k: int = 16,
+        rerank: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        route_by_domain: bool = True,
+        max_batch_size: Optional[int] = None,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        process_replicas: int = 0,
+    ) -> "ReplicaPool":
+        """A pool serving a persisted index snapshot (PR 2 format).
+
+        The snapshot is loaded *once* and shared read-only by every replica
+        — the restart path therefore costs a pipeline clone, not an index
+        reload, exactly like a warm rolling restart in production.
+        """
+        index = biencoder.load_sharded_index(path)
+        base = EntityLinkingPipeline(
+            biencoder, index, crossencoder, k=k, rerank=rerank,
+            batch_size=batch_size, route_by_domain=route_by_domain,
+        )
+        return cls.from_pipeline(
+            base, replicas=replicas, max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms, process_replicas=process_replicas,
+        )
+
+    # -- access ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    @property
+    def replicas(self) -> Tuple[Replica, ...]:
+        with self._lock:
+            return tuple(self._replicas)
+
+    def replica(self, slot: int) -> Replica:
+        with self._lock:
+            return self._replicas[slot]
+
+    def generation(self, slot: int) -> int:
+        with self._lock:
+            return self._generations[slot]
+
+    def healthy_slots(self) -> List[int]:
+        return [
+            slot for slot, replica in enumerate(self.replicas)
+            if replica.state == HEALTHY
+        ]
+
+    # -- lifecycle -------------------------------------------------------
+    def kill(self, slot: int) -> int:
+        return self.replica(slot).kill()
+
+    def drain(self, slot: int, timeout: Optional[float] = None) -> None:
+        self.replica(slot).drain(timeout=timeout)
+
+    def restart(self, slot: int, timeout: Optional[float] = None) -> Replica:
+        """Replace the slot's replica with a fresh generation.
+
+        The old replica is drained first if it is still healthy (rolling
+        restart); a dead/stopped one is simply replaced.
+        """
+        old = self.replica(slot)
+        if old.state in (HEALTHY, DRAINING):
+            old.drain(timeout=timeout)
+        fresh = self._factories[slot]()
+        with self._lock:
+            self._generations[slot] += 1
+            fresh.name = f"{fresh.name}@g{self._generations[slot]}"
+            self._replicas[slot] = fresh
+        return fresh
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        for replica in self.replicas:
+            if replica.state in (HEALTHY, DRAINING):
+                replica.drain(timeout=timeout)
+
+    def probe(self) -> List[ReplicaHealth]:
+        return [replica.probe() for replica in self.replicas]
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+@dataclass
+class _ClusterRequest:
+    """Router-side bookkeeping for one admitted request."""
+
+    mention: Mention
+    caller: "Future[LinkingResult]"
+    request_class: str
+    submitted_at: float
+    attempts: int = 0
+    requeued: bool = False
+
+
+def _affinity_hash(world: str) -> int:
+    """Stable world → integer hash (process-independent, unlike ``hash``)."""
+    return int.from_bytes(
+        hashlib.sha256(world.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class Router:
+    """Front door over a :class:`ReplicaPool`, API-compatible with
+    :class:`~repro.serving.service.LinkingService`.
+
+    Dispatch policy, in order:
+
+    1. **Admission** — if the aggregate pending count has reached the
+       class's watermark, the request is shed with :class:`RejectedError`
+       (set on the returned future; nothing is queued).
+    2. **World affinity** — with ``affinity=True``, the mention's world
+       hashes to a home slot; if that replica is healthy it wins, keeping
+       per-world shard/cache locality.  A request only leaves its home slot
+       when the replica is unhealthy (counted as an affinity miss).
+    3. **Least pending** — otherwise the healthy replica with the smallest
+       queue wins; ties break by a permutation drawn once from ``seed``, so
+       the same seed and replica count always produce the same assignment
+       (see :meth:`assignment_plan` for the pure version the property tests
+       assert on).
+
+    Requests on a replica that dies fail with :class:`ReplicaDiedError` and
+    are requeued automatically (bounded by ``max_attempts``); callers see an
+    error only when the cluster is truly out of healthy capacity.
+    """
+
+    def __init__(
+        self,
+        pool: ReplicaPool,
+        admission: Optional[AdmissionPolicy] = None,
+        affinity: bool = True,
+        seed: int = 0,
+        max_attempts: Optional[int] = None,
+        record_dispatch: bool = False,
+    ) -> None:
+        if max_attempts is not None and max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        self.pool = pool
+        self.admission = admission or AdmissionPolicy()
+        self.affinity = affinity
+        self.seed = seed
+        self.max_attempts = max_attempts or (len(pool) + 1)
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._peak_pending = 0
+        self._closing = False
+        # Seeded tie-break: rank[i] orders replicas with equal queue depth.
+        permutation = np.random.default_rng(seed).permutation(len(pool))
+        self._tiebreak_rank = {int(slot): rank for rank, slot in enumerate(permutation)}
+        self.stats = ClusterStats(pool)
+        self.dispatch_log: Optional[List[Tuple[str, int]]] = (
+            [] if record_dispatch else None
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch policy
+    # ------------------------------------------------------------------
+    def home_slot(self, world: str) -> int:
+        """The world's affinity slot (fixed for the pool's slot count)."""
+        return _affinity_hash(world) % len(self.pool)
+
+    def _least_pending(self, slots: Sequence[int], depths: Mapping[int, int]) -> int:
+        return min(slots, key=lambda slot: (depths[slot], self._tiebreak_rank[slot]))
+
+    def _pick_slot(self, mention: Mention) -> Optional[int]:
+        healthy = self.pool.healthy_slots()
+        if not healthy:
+            return None
+        if self.affinity:
+            home = self.home_slot(mention.domain)
+            if home in healthy:
+                return home
+            self.stats.record_affinity_miss()
+        depths = {slot: self.pool.replica(slot).pending for slot in healthy}
+        return self._least_pending(healthy, depths)
+
+    def assignment_plan(self, mentions: Sequence[Mention]) -> List[int]:
+        """The deterministic dispatch assignment for a mention sequence.
+
+        A pure simulation of the live policy over an idle, fully healthy
+        pool: affinity requests go to their home slot; balanced requests go
+        least-pending with the seeded tie-break, each assignment deepening
+        its simulated queue by one.  Two routers with equal ``seed``,
+        ``affinity`` and pool size produce identical plans — the property
+        the dispatch-determinism tests pin down.
+        """
+        slots = list(range(len(self.pool)))
+        depths = {slot: 0 for slot in slots}
+        plan: List[int] = []
+        for mention in mentions:
+            if self.affinity:
+                slot = self.home_slot(mention.domain)
+            else:
+                slot = self._least_pending(slots, depths)
+            depths[slot] += 1
+            plan.append(slot)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, mention: Mention, request_class: str = "default"
+    ) -> "Future[LinkingResult]":
+        """Admit, dispatch and return a future for one mention.
+
+        Shed requests get a future that already holds
+        :class:`RejectedError` — callers distinguish "over capacity" from
+        "slow" without waiting.  Raises ``RuntimeError`` after
+        :meth:`close`.
+        """
+        caller: "Future[LinkingResult]" = Future()
+        limit = self.admission.limit_for(request_class)
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("Router is closed")
+            if self._pending >= limit:
+                depth = self._pending
+                shed = True
+            else:
+                shed = False
+                self._pending += 1
+                if self._pending > self._peak_pending:
+                    self._peak_pending = self._pending
+        if shed:
+            self.stats.record_shed(request_class)
+            caller.set_exception(RejectedError(
+                f"request class {request_class!r} shed: aggregate pending "
+                f"{depth} >= watermark {limit}"
+            ))
+            return caller
+        self.stats.record_submit()
+        request = _ClusterRequest(
+            mention=mention, caller=caller, request_class=request_class,
+            submitted_at=time.perf_counter(),
+        )
+        self._dispatch(request)
+        return caller
+
+    def link(
+        self,
+        mention: Mention,
+        timeout: Optional[float] = None,
+        request_class: str = "default",
+    ) -> LinkingResult:
+        """Blocking convenience wrapper; cancels the request on timeout."""
+        future = self.submit(mention, request_class=request_class)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise
+
+    def _dispatch(self, request: _ClusterRequest) -> None:
+        while True:
+            if request.attempts >= self.max_attempts:
+                self._finalize(request, error=ReplicaDiedError(
+                    f"request {request.mention.mention_id} exhausted "
+                    f"{self.max_attempts} attempts"
+                ))
+                return
+            slot = self._pick_slot(request.mention)
+            if slot is None:
+                self._finalize(request, error=ReplicaDiedError(
+                    "no healthy replicas available"
+                ))
+                return
+            request.attempts += 1
+            replica = self.pool.replica(slot)
+            try:
+                inner = replica.submit(request.mention)
+            except ReplicaDiedError:
+                continue  # lost a race with drain/kill — re-pick
+            if self.dispatch_log is not None:
+                self.dispatch_log.append((request.mention.mention_id, slot))
+            inner.add_done_callback(
+                lambda done, request=request: self._on_inner_done(request, done)
+            )
+            return
+
+    def _on_inner_done(
+        self, request: _ClusterRequest, inner: "Future[LinkingResult]"
+    ) -> None:
+        if inner.cancelled():
+            self._finalize(request, cancelled=True)
+            return
+        error = inner.exception()
+        if error is None:
+            self._finalize(request, result=inner.result())
+            return
+        retryable = isinstance(error, ReplicaDiedError)
+        if retryable and request.attempts < self.max_attempts and not self._closing:
+            request.requeued = True
+            self.stats.record_requeue()
+            self._dispatch(request)
+            return
+        self._finalize(request, error=error)
+
+    def _finalize(
+        self,
+        request: _ClusterRequest,
+        result: Optional[LinkingResult] = None,
+        error: Optional[BaseException] = None,
+        cancelled: bool = False,
+    ) -> None:
+        with self._lock:
+            self._pending -= 1
+        if error is not None:
+            self.stats.record_error()
+        elif not cancelled:
+            self.stats.record_completed(
+                time.perf_counter() - request.submitted_at, request.requeued
+            )
+        try:
+            if cancelled:
+                request.caller.cancel()
+            elif error is not None:
+                request.caller.set_exception(error)
+            else:
+                request.caller.set_result(result)
+        except InvalidStateError:
+            pass  # caller cancelled (e.g. harness timeout) — result discarded
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet completed, across the cluster."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def peak_pending(self) -> int:
+        """High-watermark of the aggregate pending count (exact)."""
+        with self._lock:
+            return self._peak_pending
+
+    def reset_peak_pending(self) -> int:
+        with self._lock:
+            self._peak_pending = self._pending
+            return self._peak_pending
+
+    def depths(self) -> Dict[int, int]:
+        """Per-slot queue depth (replica-local pending), for monitoring."""
+        return {
+            slot: replica.pending
+            for slot, replica in enumerate(self.pool.replicas)
+        }
+
+    @property
+    def running(self) -> bool:
+        """Whether at least one replica can take traffic."""
+        with self._lock:
+            if self._closing:
+                return False
+        return bool(self.pool.healthy_slots())
+
+    def health_check(self) -> List[ReplicaHealth]:
+        """Probe every replica; silently-dead ones are killed so their
+        outstanding requests requeue instead of hanging."""
+        probes = []
+        for replica in self.pool.replicas:
+            health = replica.probe()
+            if health.state == DEAD and health.pending > 0:
+                replica.kill()  # idempotent; flushes outstanding into requeue
+                health = replica.probe()
+            probes.append(health)
+        return probes
+
+    # ------------------------------------------------------------------
+    # Lifecycle & faults
+    # ------------------------------------------------------------------
+    def warm_up(self, worlds: Optional[Sequence[str]] = None) -> List[str]:
+        """Materialise index shards before traffic (one shared snapshot —
+        warming any replica warms them all)."""
+        for replica in self.pool.replicas:
+            index = getattr(replica, "pipeline", None)
+            if index is not None:
+                return warm_up_index(replica.pipeline.index, worlds)
+        return []
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: stop admitting, drain every replica."""
+        with self._lock:
+            self._closing = True
+        self.pool.close(timeout=timeout)
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def apply_fault(self, event: FaultEvent) -> None:
+        """Apply one :class:`FaultEvent` to the pool (harness hook)."""
+        slot = event.replica
+        if not 0 <= slot < len(self.pool):
+            raise ValueError(
+                f"fault targets replica {slot}, pool has {len(self.pool)} slots"
+            )
+        if event.action == "kill":
+            self.stats.record_death()
+            self.pool.kill(slot)
+        elif event.action == "slow":
+            self.pool.replica(slot).set_delay(event.value)
+        elif event.action == "freeze":
+            self.pool.replica(slot).freeze()
+        elif event.action == "unfreeze":
+            self.pool.replica(slot).unfreeze()
+        elif event.action == "drain":
+            # Draining blocks until the replica's queue flushes; run it off
+            # the injector thread so later plan events stay on schedule.
+            threading.Thread(
+                target=self.pool.drain, args=(slot,),
+                name=f"drain-replica-{slot}", daemon=True,
+            ).start()
+        elif event.action == "restart":
+            self.pool.restart(slot)
+        else:  # pragma: no cover - FaultEvent validates actions
+            raise ValueError(f"unknown fault action {event.action!r}")

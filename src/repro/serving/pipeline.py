@@ -177,12 +177,44 @@ class PipelineStats:
             "p99": float(p99),
         }
 
+    def snapshot(self) -> Dict[str, object]:
+        """Consistent point-in-time copy of every counter, taken under the lock.
+
+        The cluster layer merges snapshots from many replicas into one
+        aggregate view; each snapshot is internally consistent (no counter
+        can be mid-update) even while the owning scheduler thread keeps
+        recording.  ``request_latencies`` is materialised as a tuple so the
+        caller never aliases the live rolling deque.
+        """
+        with self._lock:
+            return {
+                "mentions": self.mentions,
+                "batches": self.batches,
+                "stage_seconds": dict(self.stage_seconds),
+                "request_latencies": tuple(self.request_latencies),
+            }
+
     def reset(self) -> None:
         with self._lock:
             self.mentions = 0
             self.batches = 0
             self.stage_seconds.clear()
             self.request_latencies.clear()
+
+    # Pickle support for process-backed replicas: a lock cannot cross a
+    # process boundary, so it is dropped on the way out and recreated on the
+    # way in (the child gets a fresh, unheld lock).
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        state["request_latencies"] = list(self.request_latencies)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        latencies = state.pop("request_latencies")
+        self.__dict__.update(state)
+        self.request_latencies = deque(latencies, maxlen=LATENCY_WINDOW)
+        self._lock = threading.Lock()
 
 
 class EntityLinkingPipeline:
@@ -230,6 +262,7 @@ class EntityLinkingPipeline:
         self.k = k
         self.batch_size = batch_size
         self.rerank = rerank and crossencoder is not None
+        self.route_by_domain = route_by_domain
         self.stats = PipelineStats()
 
         self.stages = [
@@ -279,6 +312,27 @@ class EntityLinkingPipeline:
             rerank=rerank,
             batch_size=batch_size,
             route_by_domain=route_by_domain,
+        )
+
+    def clone(self) -> "EntityLinkingPipeline":
+        """A new pipeline over the *same* models and index, with fresh stats.
+
+        This is the unit of replication for the cluster layer: every replica
+        owns its own pipeline (own stage objects, own :class:`PipelineStats`,
+        own micro-batch loop) while the heavyweight read-only state — encoder
+        weights and the index snapshot — is shared.  The shared components
+        only mutate deterministic-value caches (tokenisation, entity
+        features, embedding LRU), so concurrent replicas can at worst repeat
+        a computation, never corrupt a result.
+        """
+        return EntityLinkingPipeline(
+            biencoder=self.biencoder,
+            index=self.index,
+            crossencoder=self.crossencoder,
+            k=self.k,
+            rerank=self.rerank,
+            batch_size=self.batch_size,
+            route_by_domain=self.route_by_domain,
         )
 
     # ------------------------------------------------------------------

@@ -31,7 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence
@@ -43,6 +43,32 @@ from .pipeline import EntityLinkingPipeline, LinkingResult
 #: Default maximum age of the oldest queued request before a partial batch is
 #: flushed anyway (milliseconds).
 DEFAULT_MAX_WAIT_MS = 10.0
+
+
+def warm_up_index(index, worlds: Optional[Sequence[str]] = None) -> List[str]:
+    """Materialise shards of a sharded index ahead of traffic.
+
+    Shared by :meth:`LinkingService.warm_up` and the cluster router (whose
+    replicas all serve from one read-only index snapshot, so one warm-up
+    covers the whole pool).  A flat index has nothing to warm and returns an
+    empty list; unknown world names raise ``ValueError`` before any shard is
+    built.
+    """
+    if not isinstance(index, ShardedEntityIndex):
+        return []
+    if worlds is not None:
+        known = index.worlds()
+        unknown = sorted(set(worlds) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown world(s) {', '.join(map(repr, unknown))}; "
+                f"known worlds: {', '.join(known)}"
+            )
+    warmed: List[str] = []
+    for world in (index.worlds() if worlds is None else worlds):
+        index.shard(world)
+        warmed.append(world)
+    return warmed
 
 
 @dataclass
@@ -90,10 +116,12 @@ class LinkingService:
         self.max_wait_ms = max_wait_ms
 
         self._queue: Deque[_PendingRequest] = deque()
+        self._inflight: List[_PendingRequest] = []
         self._peak_pending = 0
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._closing = False
+        self._aborted = False
         self._worker: Optional[threading.Thread] = None
         if start:
             self.start()
@@ -130,6 +158,40 @@ class LinkingService:
             worker = self._worker
         if worker is not None and worker.is_alive():
             worker.join(timeout=timeout)
+
+    def abort(self, error: Optional[BaseException] = None) -> int:
+        """Crash-style shutdown: fail every outstanding request immediately.
+
+        Unlike :meth:`close`, nothing is drained — queued *and* in-flight
+        requests get ``error`` (default ``RuntimeError``) set on their
+        futures right away and the scheduler thread exits at the next batch
+        boundary.  The cluster layer uses this to model a replica dying
+        mid-stream: the router sees the per-request exceptions and requeues
+        the work on healthy replicas.  Returns the number of requests that
+        were failed.  Idempotent; :meth:`submit` raises afterwards.
+        """
+        if error is None:
+            error = RuntimeError("LinkingService aborted")
+        with self._lock:
+            self._closing = True
+            self._aborted = True
+            doomed = list(self._queue) + list(self._inflight)
+            self._queue.clear()
+            self._work_ready.notify_all()
+        failed = 0
+        for request in doomed:
+            try:
+                request.future.set_exception(error)
+                failed += 1
+            except InvalidStateError:
+                pass  # completed or cancelled before the abort won the race
+        return failed
+
+    @property
+    def aborted(self) -> bool:
+        """Whether :meth:`abort` has been called (the crash-style shutdown)."""
+        with self._lock:
+            return self._aborted
 
     def __enter__(self) -> "LinkingService":
         self.start()
@@ -193,6 +255,16 @@ class LinkingService:
             return len(self._queue)
 
     @property
+    def outstanding(self) -> int:
+        """Queued plus in-flight requests (the batch being flushed).
+
+        The cluster router balances on this rather than :attr:`pending` —
+        a replica mid-batch is busy even when its queue reads empty.
+        """
+        with self._lock:
+            return len(self._queue) + len(self._inflight)
+
+    @property
     def peak_pending(self) -> int:
         """High-watermark of the queue depth since start (or the last reset).
 
@@ -231,22 +303,7 @@ class LinkingService:
         bi-encoder in eval mode) the duplicate build is wasted work, never
         wrong results.
         """
-        index = self.pipeline.index
-        if not isinstance(index, ShardedEntityIndex):
-            return []
-        if worlds is not None:
-            known = index.worlds()
-            unknown = sorted(set(worlds) - set(known))
-            if unknown:
-                raise ValueError(
-                    f"unknown world(s) {', '.join(map(repr, unknown))}; "
-                    f"known worlds: {', '.join(known)}"
-                )
-        warmed: List[str] = []
-        for world in (index.worlds() if worlds is None else worlds):
-            index.shard(world)
-            warmed.append(world)
-        return warmed
+        return warm_up_index(self.pipeline.index, worlds)
 
     # ------------------------------------------------------------------
     # Scheduler
@@ -275,25 +332,56 @@ class LinkingService:
                     self._queue.popleft()
                     for _ in range(min(self.max_batch_size, len(self._queue)))
                 ]
-            self._flush(batch)
+                # Track the in-flight batch so abort() can reach requests
+                # that have already left the queue.
+                self._inflight = batch
+            try:
+                self._flush(batch)
+            finally:
+                with self._lock:
+                    self._inflight = []
 
     def _flush(self, batch: List[_PendingRequest]) -> None:
         # Transition each future to RUNNING; a False return means the caller
         # cancelled while queued, and after a True return cancellation is no
         # longer possible, so the set_result/set_exception below cannot race.
-        batch = [
-            request for request in batch if request.future.set_running_or_notify_cancel()
-        ]
+        # An InvalidStateError means abort() already failed the future — the
+        # request is dead, skip it.
+        live: List[_PendingRequest] = []
+        for request in batch:
+            try:
+                if request.future.set_running_or_notify_cancel():
+                    live.append(request)
+            except InvalidStateError:
+                pass
+        batch = live
         if not batch:
             return
         try:
             results = self.pipeline.link([request.mention for request in batch])
         except BaseException as error:  # propagate failures to every caller
             for request in batch:
-                request.future.set_exception(error)
+                self._settle(request.future, error=error)
             return
         completed_at = time.perf_counter()
         stats = self.pipeline.stats
         for request, result in zip(batch, results):
             stats.record_latency(completed_at - request.submitted_at)
-            request.future.set_result(result)
+            self._settle(request.future, result=result)
+
+    @staticmethod
+    def _settle(
+        future: "Future[LinkingResult]",
+        result: Optional[LinkingResult] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        # abort() can fail a RUNNING future between the pipeline call and
+        # the result delivery; the abort exception wins and the late result
+        # is discarded (the router has already requeued the request).
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass

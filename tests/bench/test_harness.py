@@ -14,6 +14,7 @@ from repro.bench import (
     attach_slo,
     mentions_by_world,
 )
+from repro.bench.harness import _QueueDepthTicker
 from repro.data import split_domain
 from repro.linking import BlinkPipeline
 from repro.serving import EntityLinkingPipeline, LinkingService
@@ -198,3 +199,109 @@ class TestFailureModes:
         )
         with pytest.raises(RuntimeError):
             LoadHarness(service).run(workload)
+
+    def test_fault_plan_requires_cluster_target(self, harness_setup):
+        from repro.serving import FaultPlan
+
+        pipeline, pools = harness_setup
+        workload = Workload(
+            PoissonArrivals(rate=10.0, duration=0.1),
+            UniformMentionSampler(pools),
+            seed=1,
+        )
+        with make_service(pipeline) as service:
+            with pytest.raises(ValueError):
+                LoadHarness(service).run(
+                    workload, fault_plan=FaultPlan.kill(at=0.05, replica=0)
+                )
+
+
+class TestClusterTarget:
+    def test_harness_drives_router_like_a_service(self, harness_setup):
+        # The cluster front door is API-compatible with LinkingService, so
+        # the harness runs unchanged against it (tier-1 smoke; the fault
+        # scenarios live in the chaos-marked serving tests).
+        from repro.serving import ReplicaPool, Router
+
+        pipeline, pools = harness_setup
+        workload = Workload(
+            PoissonArrivals(rate=100.0, duration=0.3),
+            UniformMentionSampler(pools),
+            seed=13,
+        )
+        pool = ReplicaPool.from_pipeline(pipeline, replicas=2, max_wait_ms=5.0)
+        with Router(pool, seed=13) as router:
+            result = LoadHarness(router, tick_interval=0.002).run(workload)
+        assert result.completed == result.requests
+        assert result.errors == 0 and result.timeouts == 0
+        assert result.rejected == 0
+        assert result.faults is None
+        assert result.queue_depth["peak"] >= result.queue_depth["max"]
+        # Work actually spread over the pool's replicas.
+        per_replica = router.stats.snapshot()["per_replica"]
+        assert sum(r["mentions"] for r in per_replica) == result.completed
+
+
+class TestQueueDepthTicker:
+    def test_ticker_samples_arbitrary_depth_fn(self):
+        # The ticker is decoupled from the service: any callable works, so
+        # cluster code can point it at aggregate or per-replica depth.
+        values = iter(range(100))
+        with _QueueDepthTicker(lambda: next(values), interval=0.001) as ticker:
+            time.sleep(0.05)
+        summary = ticker.summary()
+        assert summary["samples"] >= 2
+        assert summary["max"] >= 1
+        assert 0 <= summary["mean"] <= summary["max"]
+
+    def test_ticker_survives_depth_fn_errors(self):
+        # Probing a replica mid-teardown can raise; the ticker records a 0
+        # and keeps sampling instead of dying mid-scenario.
+        calls = {"n": 0}
+
+        def flaky_depth():
+            calls["n"] += 1
+            if calls["n"] % 2:
+                raise RuntimeError("replica went away")
+            return 5
+
+        with _QueueDepthTicker(flaky_depth, interval=0.001) as ticker:
+            time.sleep(0.05)
+        summary = ticker.summary()
+        assert summary["samples"] >= 4
+        assert summary["max"] == 5.0  # good samples survive the bad ones
+
+    def test_ticker_observes_frozen_service_backlog(self, harness_setup):
+        # A frozen service never drains, so the sampled depth must show the
+        # standing backlog — the regression this guards: the ticker used to
+        # hardwire ``service.pending``, invisible for cluster replicas.
+        pipeline, pools = harness_setup
+        mentions = pools["lego"][:6]
+        service = make_service(pipeline, max_batch_size=64, max_wait_ms=60_000.0)
+        try:
+            futures = [service.submit(m) for m in mentions]
+            with _QueueDepthTicker(lambda: service.pending, interval=0.002) as ticker:
+                time.sleep(0.05)
+            summary = ticker.summary()
+            assert summary["max"] == len(mentions)
+            assert summary["mean"] == len(mentions)
+        finally:
+            service.abort()
+            service.close(timeout=10.0)
+            for future in futures:
+                assert future.done()
+
+    def test_harness_uses_custom_depth_fn(self, harness_setup):
+        pipeline, pools = harness_setup
+        workload = Workload(
+            PoissonArrivals(rate=60.0, duration=0.2),
+            UniformMentionSampler(pools),
+            seed=4,
+        )
+        with make_service(pipeline) as service:
+            harness = LoadHarness(service, depth_fn=lambda: 7)
+            result = harness.run(workload)
+        assert result.queue_depth["max"] == 7.0
+        assert result.queue_depth["mean"] == 7.0
+        # The exact peak still comes from the service, not the depth_fn.
+        assert result.queue_depth["peak"] >= 0.0

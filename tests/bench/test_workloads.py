@@ -222,3 +222,43 @@ class TestSamplersAndSchedules:
         with pytest.raises(ValueError):
             Schedule(kind="weird", offsets=np.zeros(1),
                      mentions=(POOLS["world0"][0],))
+
+
+class TestClusterScenarioCatalogue:
+    def test_catalogue_shape_and_fault_plans(self):
+        from repro.bench import cluster_scenario_catalogue
+
+        catalogue = cluster_scenario_catalogue(POOLS, replicas=4, seed=13,
+                                               duration=2.0, rate=100.0)
+        assert set(catalogue) == {
+            "cluster_steady", "kill_replica", "slow_replica", "freeze_thaw",
+        }
+        assert catalogue["cluster_steady"].fault_plan is None
+        kill = catalogue["kill_replica"].fault_plan
+        assert [e.action for e in kill.events] == ["kill"]
+        assert kill.events[0].replica == 3  # last slot of a 4-wide pool
+        assert kill.events[0].at == pytest.approx(0.8)  # 40% into the run
+        thaw = catalogue["freeze_thaw"].fault_plan
+        assert [e.action for e in thaw.events] == ["freeze", "unfreeze"]
+        for scenario in catalogue.values():
+            assert scenario.workload.seed == 13
+            assert scenario.description
+
+    def test_fault_scenarios_share_the_baseline_schedule(self):
+        # Same seed everywhere: the arrival schedule under a fault must be
+        # byte-identical to the healthy baseline's, so measurements differ
+        # only because of the fault.
+        from repro.bench import cluster_scenario_catalogue
+
+        catalogue = cluster_scenario_catalogue(POOLS, replicas=2, seed=7)
+        signatures = {
+            scenario.workload.schedule().signature()
+            for scenario in catalogue.values()
+        }
+        assert len(signatures) == 1
+
+    def test_replica_floor_validated(self):
+        from repro.bench import cluster_scenario_catalogue
+
+        with pytest.raises(ValueError):
+            cluster_scenario_catalogue(POOLS, replicas=1)

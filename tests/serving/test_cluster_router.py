@@ -1,0 +1,237 @@
+"""Router dispatch properties: determinism, affinity, balancing, admission.
+
+These tests pin down the contract the cluster benchmark and the chaos suite
+rely on: the same seed and pool size always yield the same dispatch
+assignment, world-affinity traffic never leaves its home shard while the
+home replica is healthy, and admission control sheds with an *immediate*
+:class:`~repro.serving.cluster.RejectedError` — never a timeout.
+"""
+
+import pytest
+
+from repro.data import split_domain
+from repro.linking import BlinkPipeline
+from repro.serving import (
+    AdmissionPolicy,
+    EntityLinkingPipeline,
+    FaultEvent,
+    FaultPlan,
+    RejectedError,
+    ReplicaPool,
+    Router,
+)
+from repro.serving.service import warm_up_index
+from repro.utils.config import BiEncoderConfig, CrossEncoderConfig, EncoderConfig
+
+ENC = EncoderConfig(model_dim=16, num_layers=1, num_heads=2, hidden_dim=32, max_length=32)
+BI_CFG = BiEncoderConfig(encoder=ENC, epochs=1, batch_size=8, learning_rate=5e-3)
+CX_CFG = CrossEncoderConfig(encoder=ENC, epochs=1, batch_size=4, num_candidates=3, learning_rate=5e-3)
+
+RESULT_TIMEOUT = 30.0
+
+
+@pytest.fixture(scope="module")
+def cluster_setup(tiny_corpus, tiny_tokenizer):
+    worlds = ["lego", "yugioh", "star_trek"]
+    entities = [e for world in worlds for e in tiny_corpus.entities(world)]
+    mentions = []
+    for world in worlds:
+        mentions.extend(
+            split_domain(tiny_corpus, world, seed_size=20, dev_size=10).test[:8]
+        )
+    blink = BlinkPipeline(tiny_tokenizer, BI_CFG, CX_CFG)
+    index = blink.biencoder.build_sharded_index(entities, lazy=False)
+    pipeline = EntityLinkingPipeline(
+        blink.biencoder, index, blink.crossencoder, k=4, batch_size=8
+    )
+    return pipeline, mentions
+
+
+def make_router(pipeline, replicas=3, **kwargs):
+    pool = ReplicaPool.from_pipeline(pipeline, replicas=replicas, max_wait_ms=5.0)
+    return Router(pool, **kwargs)
+
+
+class TestDispatchDeterminism:
+    def test_same_seed_same_replica_count_identical_assignment(self, cluster_setup):
+        pipeline, mentions = cluster_setup
+        with make_router(pipeline, replicas=3, seed=13, affinity=False) as a, \
+                make_router(pipeline, replicas=3, seed=13, affinity=False) as b:
+            assert a.assignment_plan(mentions) == b.assignment_plan(mentions)
+
+    def test_different_seed_changes_tiebreak_order(self, cluster_setup):
+        # The seeded permutation decides who wins depth ties; with every
+        # queue empty the first assignment is purely the tie-break, so two
+        # seeds with different permutations must produce different plans.
+        pipeline, mentions = cluster_setup
+        with make_router(pipeline, replicas=4, seed=0, affinity=False) as a, \
+                make_router(pipeline, replicas=4, seed=3, affinity=False) as b:
+            plans = a.assignment_plan(mentions), b.assignment_plan(mentions)
+        assert plans[0] != plans[1]
+
+    def test_affinity_plan_is_seed_independent(self, cluster_setup):
+        # World affinity hashes the domain, so the assignment ignores the
+        # balancing seed entirely while every replica is healthy.
+        pipeline, mentions = cluster_setup
+        with make_router(pipeline, replicas=3, seed=1) as a, \
+                make_router(pipeline, replicas=3, seed=99) as b:
+            assert a.assignment_plan(mentions) == b.assignment_plan(mentions)
+
+    def test_live_dispatch_matches_plan(self, cluster_setup):
+        pipeline, mentions = cluster_setup
+        with make_router(pipeline, replicas=3, seed=13, record_dispatch=True) as router:
+            plan = router.assignment_plan(mentions)
+            futures = [router.submit(m) for m in mentions]
+            for future in futures:
+                future.result(timeout=RESULT_TIMEOUT)
+            log = dict(router.dispatch_log)
+        assert [log[m.mention_id] for m in mentions] == plan
+
+
+class TestWorldAffinity:
+    def test_affinity_never_crosses_shards(self, cluster_setup):
+        pipeline, mentions = cluster_setup
+        with make_router(pipeline, replicas=3, seed=13, record_dispatch=True) as router:
+            futures = [router.submit(m) for m in mentions]
+            for future in futures:
+                future.result(timeout=RESULT_TIMEOUT)
+            dispatched = dict(router.dispatch_log)
+            homes = {m.mention_id: router.home_slot(m.domain) for m in mentions}
+        assert dispatched == homes
+        assert router.stats.snapshot()["router"]["affinity_misses"] == 0
+
+    def test_home_slot_is_stable_per_world(self, cluster_setup):
+        pipeline, _ = cluster_setup
+        with make_router(pipeline, replicas=3) as router:
+            first = {w: router.home_slot(w) for w in ("lego", "yugioh", "star_trek")}
+            again = {w: router.home_slot(w) for w in ("lego", "yugioh", "star_trek")}
+        assert first == again
+        assert all(0 <= slot < 3 for slot in first.values())
+
+    def test_balancing_splits_evenly_without_affinity(self, cluster_setup):
+        pipeline, mentions = cluster_setup
+        with make_router(pipeline, replicas=3, seed=13, affinity=False) as router:
+            plan = router.assignment_plan(mentions[:12])
+        assert sorted(plan.count(slot) for slot in range(3)) == [4, 4, 4]
+
+
+class TestAdmissionControl:
+    def test_shed_is_immediate_rejected_future(self, cluster_setup):
+        pipeline, mentions = cluster_setup
+        router = make_router(
+            pipeline, replicas=2, admission=AdmissionPolicy(watermark=2)
+        )
+        try:
+            # Freeze both replicas so admitted requests cannot drain.
+            for replica in router.pool.replicas:
+                replica.freeze()
+            admitted = [router.submit(m) for m in mentions[:2]]
+            shed = router.submit(mentions[2])
+            assert shed.done()  # rejected at submit time, no waiting
+            with pytest.raises(RejectedError):
+                shed.result(timeout=0)
+            assert router.stats.shed_by_class() == {"default": 1}
+            for replica in router.pool.replicas:
+                replica.unfreeze()
+            for future in admitted:
+                future.result(timeout=RESULT_TIMEOUT)
+        finally:
+            router.close()
+
+    def test_per_class_watermarks(self, cluster_setup):
+        pipeline, mentions = cluster_setup
+        policy = AdmissionPolicy(watermark=8, per_class={"batch": 1})
+        router = make_router(pipeline, replicas=2, admission=policy)
+        try:
+            for replica in router.pool.replicas:
+                replica.freeze()
+            keep = router.submit(mentions[0], request_class="batch")
+            bulk = router.submit(mentions[1], request_class="batch")
+            interactive = router.submit(mentions[2])
+            with pytest.raises(RejectedError):
+                bulk.result(timeout=0)
+            assert not interactive.done()  # admitted under the higher limit
+            for replica in router.pool.replicas:
+                replica.unfreeze()
+            keep.result(timeout=RESULT_TIMEOUT)
+            interactive.result(timeout=RESULT_TIMEOUT)
+        finally:
+            router.close()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(watermark=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(watermark=4, per_class={"x": -1})
+        assert AdmissionPolicy(watermark=4, per_class={"x": 2}).limit_for("x") == 2
+        assert AdmissionPolicy(watermark=4).limit_for("anything") == 4
+
+
+class TestFaultPlanValidation:
+    def test_events_sort_by_time(self):
+        plan = FaultPlan((
+            FaultEvent(at=2.0, action="kill", replica=1),
+            FaultEvent(at=0.5, action="slow", replica=0, value=0.1),
+        ))
+        assert [event.at for event in plan.events] == [0.5, 2.0]
+        extended = plan.then(FaultEvent(at=1.0, action="freeze", replica=0))
+        assert [event.at for event in extended.events] == [0.5, 1.0, 2.0]
+        assert len(plan) == 2 and len(extended) == 3
+
+    def test_invalid_events_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(at=-1.0, action="kill", replica=0)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, action="explode", replica=0)
+        with pytest.raises(ValueError):
+            FaultEvent(at=0.0, action="slow", replica=0, value=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan.freeze_thaw(freeze_at=1.0, thaw_at=0.5, replica=0)
+
+    def test_fault_outside_pool_rejected(self, cluster_setup):
+        pipeline, _ = cluster_setup
+        with make_router(pipeline, replicas=2) as router:
+            with pytest.raises(ValueError):
+                router.apply_fault(FaultEvent(at=0.0, action="kill", replica=5))
+
+
+class TestRouterServiceSurface:
+    def test_results_match_batch_pipeline(self, cluster_setup):
+        pipeline, mentions = cluster_setup
+        expected = {
+            r.mention_id: r.predicted_entity_id for r in pipeline.link(mentions)
+        }
+        with make_router(pipeline, replicas=3, seed=13) as router:
+            futures = [router.submit(m) for m in mentions]
+            results = [f.result(timeout=RESULT_TIMEOUT) for f in futures]
+        assert {r.mention_id: r.predicted_entity_id for r in results} == expected
+
+    def test_warm_up_validates_worlds(self, cluster_setup):
+        pipeline, _ = cluster_setup
+        with make_router(pipeline, replicas=2) as router:
+            assert set(router.warm_up(["lego"])) == {"lego"}
+            with pytest.raises(ValueError):
+                router.warm_up(["atlantis"])
+
+    def test_warm_up_index_helper_matches_service_warm_up(self, cluster_setup):
+        pipeline, _ = cluster_setup
+        warmed = warm_up_index(pipeline.index)
+        assert "lego" in warmed and "yugioh" in warmed
+
+    def test_peak_pending_and_reset(self, cluster_setup):
+        pipeline, mentions = cluster_setup
+        with make_router(pipeline, replicas=2) as router:
+            futures = [router.submit(m) for m in mentions[:6]]
+            for future in futures:
+                future.result(timeout=RESULT_TIMEOUT)
+            assert router.peak_pending >= 1
+            assert router.pending == 0
+            assert router.reset_peak_pending() == 0
+
+    def test_closed_router_rejects_submit(self, cluster_setup):
+        pipeline, mentions = cluster_setup
+        router = make_router(pipeline, replicas=2)
+        router.close()
+        assert not router.running
+        with pytest.raises(RuntimeError):
+            router.submit(mentions[0])
