@@ -1,0 +1,81 @@
+"""Lint-gate benchmark: wall time and files/sec into ``BENCH_lint.json``.
+
+The lint job runs on every CI push, so its cost is part of the development
+loop's latency budget.  This benchmark times a full gate pass (src + tests
++ benchmarks, every rule, baseline applied) with the library API — the
+same work ``scripts/run_lint.py`` does — and lands the numbers in the
+standard ``BENCH_*.json`` regression machinery: ``lint_wall_seconds``
+gates lower-is-better, ``lint_files_per_second`` higher-is-better, and the
+file/finding counts ride along ungated as context.
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_lint.py -q -s
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, LintConfig, run_lint
+from repro.bench import compare
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_OUTPUT = REPO_ROOT / "BENCH_lint.json"
+
+#: Timing tolerance for the gate demo.  Wall time on a shared runner is
+#: the noisiest metric in the suite; the CI benchmark job is advisory.
+RTOL = 0.5
+
+
+@pytest.fixture(scope="module")
+def lint_run():
+    baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+    config = LintConfig(project_root=REPO_ROOT)
+    paths = [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"]
+    return run_lint(paths, config=config, baseline=baseline)
+
+
+def _payload(result):
+    return {
+        "lint_wall_seconds": result.elapsed_seconds,
+        "lint_files_per_second": result.files_per_second,
+        "lint_files_count": result.files,
+        "lint_findings_count": len(result.findings) + len(result.baselined),
+        "config": {
+            "paths": ["src", "tests", "benchmarks"],
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+        },
+    }
+
+
+def test_lint_gate_timed_and_clean(lint_run):
+    assert lint_run.ok, "\n".join(f.describe() for f in lint_run.findings)
+    assert lint_run.files > 100  # the whole tree, not a subset
+    assert lint_run.elapsed_seconds > 0
+
+    payload = _payload(lint_run)
+    BENCH_OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"\n  lint: {lint_run.files} files in "
+          f"{lint_run.elapsed_seconds:.2f}s "
+          f"({lint_run.files_per_second:.0f} files/s)")
+    print(f"  wrote {BENCH_OUTPUT.name}")
+
+
+def test_regression_gate_on_fresh_lint_payload(lint_run):
+    """The run passes its own gate; a 12x-slower copy fails it."""
+    payload = _payload(lint_run)
+    self_report = compare(payload, payload, rtol=RTOL)
+    assert self_report.passed, self_report.summary()
+
+    degraded = json.loads(json.dumps(payload))
+    degraded["lint_wall_seconds"] *= 12.0
+    degraded["lint_files_per_second"] /= 12.0
+    gate = compare(degraded, payload, rtol=RTOL)
+    assert not gate.passed
+    regressed = {check.metric for check in gate.regressions}
+    assert regressed == {"lint_wall_seconds", "lint_files_per_second"}
+    print()
+    print(gate.summary())

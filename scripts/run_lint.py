@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Run the repro lint gate: exit 0 when clean, 1 on new findings.
+
+Usage::
+
+    python scripts/run_lint.py                      # lint src/ (default)
+    python scripts/run_lint.py src tests benchmarks # full gate, as in CI
+    python scripts/run_lint.py --list-rules         # show registered rules
+    python scripts/run_lint.py --format json src    # machine-readable report
+    python scripts/run_lint.py --baseline-update src  # rewrite lint_baseline.json
+
+The baseline (``lint_baseline.json`` at the repo root) absorbs
+grandfathered findings; only *new* findings fail the gate.  After fixing
+baselined code, re-run with ``--baseline-update`` to prune stale entries
+(existing justifications are preserved).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402
+    Baseline,
+    DEFAULT_BASELINE_NAME,
+    LintConfig,
+    registered_rules,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule names to run (default: all registered)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=str(REPO_ROOT / DEFAULT_BASELINE_NAME),
+        help=f"baseline file (default: <repo>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--baseline-update", action="store_true",
+        help="rewrite the baseline to cover current findings, keeping "
+             "existing justifications, then exit 0",
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print findings covered by the baseline (text format)",
+    )
+    parser.add_argument(
+        "--bench-output", default=None, metavar="FILE",
+        help="write lint wall time / files-per-second metrics as JSON",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, cls in sorted(registered_rules().items()):
+            print(f"{name}: {cls.description}")
+            print(f"    paths: {', '.join(cls.default_paths)}")
+        return 0
+
+    enabled = None
+    if args.rules:
+        enabled = [name.strip() for name in args.rules.split(",") if name.strip()]
+    config = LintConfig(enabled=enabled, project_root=REPO_ROOT)
+
+    baseline_path = Path(args.baseline)
+    baseline = None
+    if not args.no_baseline:
+        baseline = Baseline.load(baseline_path)
+
+    result = run_lint(args.paths, config=config, baseline=baseline)
+
+    if args.bench_output:
+        metrics = {
+            "lint_wall_seconds": result.elapsed_seconds,
+            "lint_files_per_second": result.files_per_second,
+            "lint_files_count": result.files,
+            "lint_findings_count": len(result.findings) + len(result.baselined),
+            "config": {
+                "paths": list(args.paths),
+                "rules": sorted(registered_rules()) if enabled is None else enabled,
+            },
+        }
+        Path(args.bench_output).write_text(
+            json.dumps(metrics, indent=1) + "\n", encoding="utf-8"
+        )
+
+    if args.baseline_update:
+        previous = baseline if baseline is not None else Baseline.load(baseline_path)
+        all_findings = sorted([*result.findings, *result.baselined])
+        updated = Baseline.from_findings(all_findings, previous=previous)
+        updated.save(baseline_path)
+        print(
+            f"baseline updated: {len(updated)} entr(y/ies) covering "
+            f"{len(all_findings)} finding(s) -> {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        print(render_text(result, show_baselined=args.show_baselined))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Project-native static analysis for the repro codebase.
+
+An AST-based lint framework whose rules encode *this repo's* invariants —
+thread-local grad state, ``self._lock`` discipline, probe-mode restore,
+the ``compute_dtype`` switch, future settlement in ``repro.serving`` and
+pytest marker registration.  Every rule is distilled from a bug this
+codebase actually shipped.
+
+Entry points:
+
+* ``scripts/run_lint.py`` — the CLI gate (exit code = verdict).
+* :func:`run_lint` / :func:`lint_source` — the library API.
+* ``lint_baseline.json`` — committed grandfathered findings, matched by
+  ``(rule, path, symbol)`` fingerprint with per-entry justifications.
+
+Suppress a single finding inline with ``# repro: disable=<rule>``.
+"""
+
+from .baseline import (
+    Baseline,
+    BaselineEntry,
+    DEFAULT_BASELINE_NAME,
+    TODO_JUSTIFICATION,
+)
+from .core import (
+    FileContext,
+    Finding,
+    LintConfig,
+    LintResult,
+    Rule,
+    SYNTAX_ERROR_RULE,
+    iter_python_files,
+    lint_source,
+    register,
+    registered_rules,
+    run_lint,
+)
+from .reporters import render_json, render_text, summarize
+
+# Importing the rules package registers every domain rule.
+from . import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "TODO_JUSTIFICATION",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "SYNTAX_ERROR_RULE",
+    "iter_python_files",
+    "lint_source",
+    "register",
+    "registered_rules",
+    "run_lint",
+    "render_json",
+    "render_text",
+    "summarize",
+]

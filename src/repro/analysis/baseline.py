@@ -1,0 +1,183 @@
+"""Committed baseline of grandfathered lint findings.
+
+Turning a linter on over an existing tree always surfaces findings that are
+deliberate (a stats aggregation pinned to float64, say).  Rather than
+littering the source with suppression comments — or worse, weakening the
+rule — those findings live in a committed ``lint_baseline.json``: each
+entry records the rule, file, symbol and a **justification** explaining why
+the finding is accepted.  The lint gate then fails only on *new* findings.
+
+Matching is by ``(rule, path, symbol)`` fingerprint, not line number, so
+ordinary edits to a file do not invalidate its entries.  Per fingerprint an
+entry covers ``count`` findings; extra occurrences beyond the count are new
+findings (you cannot hide a second violation behind an old entry).
+
+Workflow::
+
+    scripts/run_lint.py src/                     # gate: exit 1 on new findings
+    scripts/run_lint.py src/ --baseline-update   # re-write the baseline,
+                                                 # keeping existing justifications
+    # then edit lint_baseline.json to justify any TODO entries
+
+Entries whose finding disappears (the code was fixed) are reported as
+*stale* by the gate and pruned by ``--baseline-update``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from .core import Finding
+
+#: Default baseline file name, resolved against the project root.
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+#: Placeholder justification ``--baseline-update`` writes for new entries.
+TODO_JUSTIFICATION = "TODO: justify or fix"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One grandfathered finding: fingerprint + justification + count."""
+
+    rule: str
+    path: str
+    symbol: str
+    justification: str = ""
+    count: int = 1
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+    def describe(self) -> str:
+        suffix = f" x{self.count}" if self.count != 1 else ""
+        return f"{self.path}: {self.rule}: {self.symbol}{suffix}"
+
+
+class Baseline:
+    """A set of :class:`BaselineEntry` rows with fingerprint matching."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = sorted(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(row["rule"]),
+                path=str(row["path"]),
+                symbol=str(row.get("symbol", "")),
+                justification=str(row.get("justification", "")),
+                count=int(row.get("count", 1)),
+            )
+            for row in payload.get("entries", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (new, baselined) and report stale entries.
+
+        Per fingerprint, the first ``entry.count`` findings are absorbed by
+        the baseline; any surplus is new.  An entry matching fewer findings
+        than its count is stale (partially or fully fixed code).
+        """
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.fingerprint()] = (
+                budget.get(entry.fingerprint(), 0) + entry.count
+            )
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        stale: List[BaselineEntry] = []
+        reported: set = set()
+        for entry in self.entries:
+            key = entry.fingerprint()
+            if budget.get(key, 0) > 0 and key not in reported:
+                reported.add(key)
+                stale.append(entry)
+        return new, matched, stale
+
+    # ------------------------------------------------------------------
+    # Update
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Sequence[Finding],
+        previous: "Baseline" = None,
+    ) -> "Baseline":
+        """Baseline covering exactly ``findings``.
+
+        Justifications from ``previous`` entries with the same fingerprint
+        are carried over; genuinely new entries get the
+        :data:`TODO_JUSTIFICATION` placeholder so a reviewer can spot them.
+        Entries of ``previous`` that no longer match anything are dropped.
+        """
+        kept: Dict[Tuple[str, str, str], str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                kept.setdefault(entry.fingerprint(), entry.justification)
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            counts[finding.fingerprint()] = counts.get(finding.fingerprint(), 0) + 1
+        entries = [
+            BaselineEntry(
+                rule=rule, path=path, symbol=symbol, count=count,
+                justification=kept.get((rule, path, symbol), TODO_JUSTIFICATION),
+            )
+            for (rule, path, symbol), count in counts.items()
+        ]
+        return cls(entries)

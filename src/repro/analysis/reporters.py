@@ -1,0 +1,66 @@
+"""Render a :class:`~repro.analysis.core.LintResult` as text or JSON.
+
+The text reporter prints the canonical ``path:line: rule: message`` lines
+(the format CI greps and editors jump on) followed by a one-line summary;
+the JSON reporter emits a machine-readable payload for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .core import LintResult
+
+
+def summarize(result: LintResult) -> str:
+    """One-line verdict: files, timing, finding counts."""
+    verdict = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.stale:
+        extras.append(f"{len(result.stale)} stale baseline entr(y/ies)")
+    detail = f" ({', '.join(extras)})" if extras else ""
+    return (
+        f"lint: {result.files} files in {result.elapsed_seconds:.2f}s "
+        f"({result.files_per_second:.0f} files/s) -> {verdict}{detail}"
+    )
+
+
+def render_text(result: LintResult, show_baselined: bool = False) -> str:
+    """Diagnostic lines + stale-entry warnings + summary."""
+    lines = [finding.describe() for finding in result.findings]
+    if show_baselined:
+        lines += [
+            f"{finding.describe()} [baselined]" for finding in result.baselined
+        ]
+    for entry in result.stale:
+        lines.append(
+            f"stale baseline entry (fixed? prune with --baseline-update): "
+            f"{entry.describe()}"
+        )
+    lines.append(summarize(result))
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report: findings, baselined, stale, summary block."""
+    payload: Dict[str, object] = {
+        "findings": [finding.to_dict() for finding in result.findings],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "stale": [entry.to_dict() for entry in result.stale],
+        "summary": {
+            "files": result.files,
+            "elapsed_seconds": result.elapsed_seconds,
+            "files_per_second": result.files_per_second,
+            "new": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "stale": len(result.stale),
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(payload, indent=1) + "\n"

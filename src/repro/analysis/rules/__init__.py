@@ -1,0 +1,21 @@
+"""Domain rules for the repro lint framework.
+
+Importing this package registers every rule with
+:func:`repro.analysis.core.register`; :mod:`repro.analysis` does so on
+import, so ``registered_rules()`` is always fully populated.
+"""
+
+from .dtype import InferenceDtypeRule
+from .futures import FutureHygieneRule
+from .grad_mode import ProbeModeDisciplineRule
+from .markers import PytestMarkerDeclaredRule
+from .threading_rules import LockDisciplineRule, ThreadLocalStateRule
+
+__all__ = [
+    "InferenceDtypeRule",
+    "FutureHygieneRule",
+    "ProbeModeDisciplineRule",
+    "PytestMarkerDeclaredRule",
+    "LockDisciplineRule",
+    "ThreadLocalStateRule",
+]

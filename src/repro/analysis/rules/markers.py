@@ -1,0 +1,99 @@
+"""``pytest-marker-declared``: markers used in tests must be registered.
+
+Unregistered markers are worse than noise: ``-m "not chaos"`` silently
+deselects *nothing* if ``chaos`` was never registered under a different
+spelling, and pytest's ``PytestUnknownMarkWarning`` scrolls past unread.
+The fix is two-sided — ``pytest.ini`` carries ``--strict-markers`` so
+pytest itself hard-fails, and this rule catches the drift at lint time
+without even collecting the test suite.
+
+Declared markers come from the rule's ``declared`` option when set, else
+from parsing ``[pytest] markers =`` in the project root's ``pytest.ini``.
+"""
+
+from __future__ import annotations
+
+import ast
+import configparser
+from typing import Iterator, Optional, Set
+
+from ..core import FileContext, Finding, Rule, enclosing_symbol, register
+
+#: Markers pytest itself provides; never need registration.
+BUILTIN_MARKERS = frozenset({
+    "parametrize", "skip", "skipif", "xfail", "usefixtures", "filterwarnings",
+})
+
+
+def declared_markers(ctx: FileContext) -> Optional[Set[str]]:
+    """Markers registered in ``<project_root>/pytest.ini``, or ``None``.
+
+    Returns ``None`` (rule disables itself) when no pytest.ini can be
+    found — a snippet linted without a project root should not drown in
+    false positives.
+    """
+    if ctx.project_root is None:
+        return None
+    ini = ctx.project_root / "pytest.ini"
+    if not ini.exists():
+        return None
+    parser = configparser.ConfigParser()
+    try:
+        parser.read(ini, encoding="utf-8")
+        raw = parser.get("pytest", "markers", fallback="")
+    except configparser.Error:
+        return None
+    names: Set[str] = set()
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        # "chaos: fault-injection scenarios" -> "chaos"; bare names allowed.
+        name = line.split(":", 1)[0].strip().split("(", 1)[0].strip()
+        if name:
+            names.add(name)
+    return names
+
+
+@register
+class PytestMarkerDeclaredRule(Rule):
+    """Flag ``pytest.mark.<name>`` uses of unregistered markers."""
+
+    name = "pytest-marker-declared"
+    description = (
+        "pytest markers used in tests/benchmarks must be declared in "
+        "pytest.ini (works with --strict-markers)"
+    )
+    default_paths = ("tests/", "benchmarks/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        configured = self.options.get("declared")
+        if configured is not None:
+            declared: Optional[Set[str]] = {str(n) for n in configured}  # type: ignore[union-attr]
+        else:
+            declared = declared_markers(ctx)
+        if declared is None:
+            return
+        known = declared | BUILTIN_MARKERS
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if not (
+                isinstance(value, ast.Attribute)
+                and value.attr == "mark"
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "pytest"
+            ):
+                continue
+            if node.attr in known:
+                continue
+            yield Finding(
+                path=ctx.path, line=node.lineno, column=node.col_offset,
+                rule=self.name, symbol=enclosing_symbol(ctx.tree, node) or node.attr,
+                message=(
+                    f"marker {node.attr!r} is not declared in pytest.ini "
+                    f"[pytest] markers; with --strict-markers this fails "
+                    f"collection, without it the marker silently no-ops"
+                ),
+            )

@@ -35,6 +35,7 @@ BENCH_FILES = (
     "BENCH_meta.json",
     "BENCH_load.json",
     "BENCH_cluster.json",
+    "BENCH_lint.json",
 )
 
 #: Key substrings marking a metric where *smaller* is better.

@@ -104,17 +104,19 @@ class Seq2SeqModel(Module):
         history = MetricHistory()
         rng = np.random.default_rng(seed)
         self.train()
-        for epoch in range(epochs):
-            epoch_losses: List[float] = []
-            for batch in batched_indices(len(source_ids), batch_size, rng):
-                loss = self.batch_loss(source_ids[batch], target_ids[batch])
-                self.zero_grad()
-                loss.backward()
-                clip_grad_norm(self.parameters(), 1.0)
-                optimizer.step()
-                epoch_losses.append(loss.item())
-            history.add("loss", float(np.mean(epoch_losses)))
-        self.eval()
+        try:
+            for epoch in range(epochs):
+                epoch_losses: List[float] = []
+                for batch in batched_indices(len(source_ids), batch_size, rng):
+                    loss = self.batch_loss(source_ids[batch], target_ids[batch])
+                    self.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(self.parameters(), 1.0)
+                    optimizer.step()
+                    epoch_losses.append(loss.item())
+                history.add("loss", float(np.mean(epoch_losses)))
+        finally:
+            self.eval()
         return history
 
     # ------------------------------------------------------------------
@@ -226,13 +228,20 @@ class Seq2SeqModel(Module):
         active = np.arange(batch)
         with no_grad():
             memory = self.encoder(source_ids)
+            # Follow the encoder's compute dtype instead of pinning float64:
+            # under compute_dtype("float32") a hard-coded cast would upcast
+            # the logit slice on every decode step of every request.
+            step_dtype = memory.data.dtype
+            additive = additive.astype(step_dtype, copy=False)
+            if repetition is not None:
+                repetition = repetition.astype(step_dtype, copy=False)
             state = self.decoder.init_state(
                 memory, source_ids == self.pad_id, max_length=max_length + 1
             )
             tokens = np.full((batch, 1), self.bos_id, dtype=np.int64)
             for step in range(max_length):
                 logits = self.decoder.forward_step(tokens, state)
-                step_logits = np.asarray(logits.data[:, -1, :], dtype=np.float64)
+                step_logits = np.asarray(logits.data[:, -1, :], dtype=step_dtype)
                 step_logits = step_logits + additive[active]
                 if step < min_length:
                     step_logits[:, self.eos_id] = -1e9

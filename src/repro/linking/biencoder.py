@@ -316,25 +316,27 @@ class BiEncoderTrainer:
         rng = np.random.default_rng(seed)
 
         self.model.train()
-        for epoch in range(epochs):
-            losses: List[float] = []
-            for index_batch in batched_indices(len(batch), self.config.batch_size, rng):
-                if len(index_batch) < 2:
-                    continue  # in-batch negatives need at least two examples
-                weights = batch.weights[index_batch]
-                sample_weights = None if np.allclose(weights, 1.0) else weights
-                loss = self.model.batch_loss(
-                    batch.mention_ids[index_batch],
-                    batch.entity_ids[index_batch],
-                    sample_weights=sample_weights,
-                )
-                self.model.zero_grad()
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
-                optimizer.step()
-                losses.append(loss.item())
-            mean_loss = float(np.mean(losses)) if losses else float("nan")
-            history.add("loss", mean_loss)
-            _LOGGER.debug("bi-encoder epoch %d loss %.4f", epoch, mean_loss)
-        self.model.eval()
+        try:
+            for epoch in range(epochs):
+                losses: List[float] = []
+                for index_batch in batched_indices(len(batch), self.config.batch_size, rng):
+                    if len(index_batch) < 2:
+                        continue  # in-batch negatives need at least two examples
+                    weights = batch.weights[index_batch]
+                    sample_weights = None if np.allclose(weights, 1.0) else weights
+                    loss = self.model.batch_loss(
+                        batch.mention_ids[index_batch],
+                        batch.entity_ids[index_batch],
+                        sample_weights=sample_weights,
+                    )
+                    self.model.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
+                    optimizer.step()
+                    losses.append(loss.item())
+                mean_loss = float(np.mean(losses)) if losses else float("nan")
+                history.add("loss", mean_loss)
+                _LOGGER.debug("bi-encoder epoch %d loss %.4f", epoch, mean_loss)
+        finally:
+            self.model.eval()
         return history

@@ -554,26 +554,28 @@ class CrossEncoderTrainer:
         examples = list(examples)
 
         self.model.train()
-        for epoch in range(epochs):
-            losses: List[float] = []
-            for index_batch in batched_indices(len(examples), self.config.batch_size, rng):
-                batch_examples = [examples[i] for i in index_batch]
-                total = None
-                weight_sum = 0.0
-                for example in batch_examples:
-                    example_loss = self.model.example_loss(example) * example.weight
-                    total = example_loss if total is None else total + example_loss
-                    weight_sum += example.weight
-                if total is None or weight_sum == 0.0:
-                    continue
-                loss = total * (1.0 / max(weight_sum, 1e-8))
-                self.model.zero_grad()
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
-                optimizer.step()
-                losses.append(loss.item())
-            mean_loss = float(np.mean(losses)) if losses else float("nan")
-            history.add("loss", mean_loss)
-            _LOGGER.debug("cross-encoder epoch %d loss %.4f", epoch, mean_loss)
-        self.model.eval()
+        try:
+            for epoch in range(epochs):
+                losses: List[float] = []
+                for index_batch in batched_indices(len(examples), self.config.batch_size, rng):
+                    batch_examples = [examples[i] for i in index_batch]
+                    total = None
+                    weight_sum = 0.0
+                    for example in batch_examples:
+                        example_loss = self.model.example_loss(example) * example.weight
+                        total = example_loss if total is None else total + example_loss
+                        weight_sum += example.weight
+                    if total is None or weight_sum == 0.0:
+                        continue
+                    loss = total * (1.0 / max(weight_sum, 1e-8))
+                    self.model.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
+                    optimizer.step()
+                    losses.append(loss.item())
+                mean_loss = float(np.mean(losses)) if losses else float("nan")
+                history.add("loss", mean_loss)
+                _LOGGER.debug("cross-encoder epoch %d loss %.4f", epoch, mean_loss)
+        finally:
+            self.model.eval()
         return history

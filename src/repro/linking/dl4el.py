@@ -86,23 +86,25 @@ class DL4ELTrainer:
         rng = np.random.default_rng(seed)
 
         self.model.train()
-        for epoch in range(epochs):
-            losses: List[float] = []
-            for index_batch in batched_indices(len(batch), self.config.batch_size, rng):
-                if len(index_batch) < 2:
-                    continue
-                mention_ids = batch.mention_ids[index_batch]
-                entity_ids = batch.entity_ids[index_batch]
-                per_example = self.model.batch_loss(mention_ids, entity_ids, reduction="none")
-                weights = self._denoising_weights(per_example.data)
-                loss = self.model.batch_loss(mention_ids, entity_ids, sample_weights=weights)
-                self.model.zero_grad()
-                loss.backward()
-                clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
-                optimizer.step()
-                losses.append(loss.item())
-            mean_loss = float(np.mean(losses)) if losses else float("nan")
-            history.add("loss", mean_loss)
-            _LOGGER.debug("dl4el epoch %d loss %.4f", epoch, mean_loss)
-        self.model.eval()
+        try:
+            for epoch in range(epochs):
+                losses: List[float] = []
+                for index_batch in batched_indices(len(batch), self.config.batch_size, rng):
+                    if len(index_batch) < 2:
+                        continue
+                    mention_ids = batch.mention_ids[index_batch]
+                    entity_ids = batch.entity_ids[index_batch]
+                    per_example = self.model.batch_loss(mention_ids, entity_ids, reduction="none")
+                    weights = self._denoising_weights(per_example.data)
+                    loss = self.model.batch_loss(mention_ids, entity_ids, sample_weights=weights)
+                    self.model.zero_grad()
+                    loss.backward()
+                    clip_grad_norm(self.model.parameters(), self.config.max_grad_norm)
+                    optimizer.step()
+                    losses.append(loss.item())
+                mean_loss = float(np.mean(losses)) if losses else float("nan")
+                history.add("loss", mean_loss)
+                _LOGGER.debug("dl4el epoch %d loss %.4f", epoch, mean_loss)
+        finally:
+            self.model.eval()
         return history

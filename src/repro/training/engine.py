@@ -183,53 +183,55 @@ class MetaTrainingEngine:
         accumulation = self.config.accumulation_steps
 
         self.model.train()
-        for epoch in range(self._completed_epochs, epochs):
-            epoch_losses: List[float] = []
-            accumulated: Optional[np.ndarray] = None
-            accumulated_count = 0
-            for index_batch in batched_indices(len(synthetic_items), self.batch_size, self._rng):
-                if len(index_batch) < 2:
-                    continue
-                step_start = time.perf_counter()
-                batch = [synthetic_items[i] for i in index_batch]
-                seed_batch_size = min(self.meta_config.seed_batch_size, len(seed_items))
-                seed_indices = self._rng.choice(len(seed_items), size=seed_batch_size, replace=False)
-                seed_batch = [seed_items[i] for i in seed_indices]
+        try:
+            for epoch in range(self._completed_epochs, epochs):
+                epoch_losses: List[float] = []
+                accumulated: Optional[np.ndarray] = None
+                accumulated_count = 0
+                for index_batch in batched_indices(len(synthetic_items), self.batch_size, self._rng):
+                    if len(index_batch) < 2:
+                        continue
+                    step_start = time.perf_counter()
+                    batch = [synthetic_items[i] for i in index_batch]
+                    seed_batch_size = min(self.meta_config.seed_batch_size, len(seed_items))
+                    seed_indices = self._rng.choice(len(seed_items), size=seed_batch_size, replace=False)
+                    seed_batch = [seed_items[i] for i in seed_indices]
 
-                result = self.reweighter.compute_weights(batch, seed_batch)
-                self._selected_fractions.append(result.selected_fraction)
-                weight_sum = float(result.weights.sum())
-                if weight_sum <= 0.0:
-                    # Nothing in this batch helps the seed loss.
-                    self._record_step(epoch, float("nan"), result, weight_sum,
-                                      len(batch), True, step_start)
-                    continue
+                    result = self.reweighter.compute_weights(batch, seed_batch)
+                    self._selected_fractions.append(result.selected_fraction)
+                    weight_sum = float(result.weights.sum())
+                    if weight_sum <= 0.0:
+                        # Nothing in this batch helps the seed loss.
+                        self._record_step(epoch, float("nan"), result, weight_sum,
+                                          len(batch), True, step_start)
+                        continue
 
-                loss = self.task.weighted_loss(batch, result.weights)
-                self.model.zero_grad()
-                loss.backward()
-                gradient = self.model.gradient_vector()
-                accumulated = gradient if accumulated is None else accumulated + gradient
-                accumulated_count += 1
-                if accumulated_count >= accumulation:
+                    loss = self.task.weighted_loss(batch, result.weights)
+                    self.model.zero_grad()
+                    loss.backward()
+                    gradient = self.model.gradient_vector()
+                    accumulated = gradient if accumulated is None else accumulated + gradient
+                    accumulated_count += 1
+                    if accumulated_count >= accumulation:
+                        self._apply_update(accumulated, accumulated_count)
+                        accumulated, accumulated_count = None, 0
+                    epoch_losses.append(loss.item())
+                    self._record_step(epoch, loss.item(), result, weight_sum,
+                                      len(batch), False, step_start)
+                if accumulated is not None:
+                    # Flush the trailing partial accumulation window.
                     self._apply_update(accumulated, accumulated_count)
-                    accumulated, accumulated_count = None, 0
-                epoch_losses.append(loss.item())
-                self._record_step(epoch, loss.item(), result, weight_sum,
-                                  len(batch), False, step_start)
-            if accumulated is not None:
-                # Flush the trailing partial accumulation window.
-                self._apply_update(accumulated, accumulated_count)
-            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
-            self.history.add("loss", mean_loss)
-            _LOGGER.debug("meta engine epoch %d loss %.4f", epoch, mean_loss)
-            self._completed_epochs = epoch + 1
-            self._maybe_checkpoint()
-        self.history.add(
-            "selected_fraction",
-            float(np.mean(self._selected_fractions)) if self._selected_fractions else 0.0,
-        )
-        self.model.eval()
+                mean_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+                self.history.add("loss", mean_loss)
+                _LOGGER.debug("meta engine epoch %d loss %.4f", epoch, mean_loss)
+                self._completed_epochs = epoch + 1
+                self._maybe_checkpoint()
+            self.history.add(
+                "selected_fraction",
+                float(np.mean(self._selected_fractions)) if self._selected_fractions else 0.0,
+            )
+        finally:
+            self.model.eval()
         return self.history
 
     def _ensure_schedule(self, num_items: int, epochs: int) -> None:

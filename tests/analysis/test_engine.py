@@ -1,0 +1,177 @@
+"""Engine-level behaviour: registry, config, suppressions, reporters,
+syntax-error handling and file discovery."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintConfig,
+    LintResult,
+    Rule,
+    SYNTAX_ERROR_RULE,
+    iter_python_files,
+    lint_source,
+    registered_rules,
+    render_json,
+    render_text,
+    run_lint,
+    summarize,
+)
+
+EXPECTED_RULES = {
+    "thread-local-state",
+    "lock-discipline",
+    "probe-mode-discipline",
+    "inference-dtype",
+    "future-hygiene",
+    "pytest-marker-declared",
+}
+
+
+class TestRegistry:
+    def test_all_domain_rules_registered(self):
+        assert EXPECTED_RULES <= set(registered_rules())
+
+    def test_rules_have_descriptions_and_paths(self):
+        for name, cls in registered_rules().items():
+            assert cls.description, name
+            assert cls.default_paths, name
+
+    def test_unknown_enabled_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            LintConfig(enabled=["no-such-rule"]).build_rules()
+
+    def test_disabled_subtracts(self):
+        rules = LintConfig(disabled=["inference-dtype"]).build_rules()
+        assert "inference-dtype" not in {rule.name for rule in rules}
+
+    def test_paths_option_rescopes_a_rule(self):
+        source = "import numpy as np\nx = np.float64(1.0)\n"
+        config = LintConfig(
+            enabled=["inference-dtype"],
+            rule_options={"inference-dtype": {"paths": ["lib/"]}},
+        )
+        assert lint_source(source, "lib/hot.py", config=config)
+        assert not lint_source(source, "src/repro/serving/hot.py", config=config)
+
+
+class TestSuppressions:
+    def test_suppression_only_applies_to_named_rule(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.float64(1.0)  # repro: disable=lock-discipline\n"
+        )
+        findings = lint_source(
+            source, "src/repro/serving/hot.py",
+            config=LintConfig(enabled=["inference-dtype"]),
+        )
+        assert len(findings) == 1
+
+    def test_disable_all(self):
+        source = "import numpy as np\nx = np.float64(1.0)  # repro: disable=all\n"
+        findings = lint_source(
+            source, "src/repro/serving/hot.py",
+            config=LintConfig(enabled=["inference-dtype"]),
+        )
+        assert findings == []
+
+    def test_suppression_inside_string_literal_ignored(self):
+        source = (
+            "import numpy as np\n"
+            'note = "repro: disable=inference-dtype"\n'
+            "x = np.float64(1.0)\n"
+        )
+        findings = lint_source(
+            source, "src/repro/serving/hot.py",
+            config=LintConfig(enabled=["inference-dtype"]),
+        )
+        assert len(findings) == 1
+
+    def test_multiple_rules_one_comment(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.float64(1.0)  # repro: disable=inference-dtype, lock-discipline\n"
+        )
+        findings = lint_source(
+            source, "src/repro/serving/hot.py",
+            config=LintConfig(enabled=["inference-dtype"]),
+        )
+        assert findings == []
+
+
+class TestFindings:
+    def test_describe_format(self):
+        finding = Finding(
+            path="src/repro/serving/x.py", line=7, rule="lock-discipline",
+            message="bad", symbol="X.y",
+        )
+        assert finding.describe() == "src/repro/serving/x.py:7: lock-discipline: bad"
+
+    def test_fingerprint_prefers_symbol(self):
+        finding = Finding(
+            path="a.py", line=1, rule="r", message="msg", symbol="Cls.m",
+        )
+        assert finding.fingerprint() == ("r", "a.py", "Cls.m")
+        anonymous = Finding(path="a.py", line=1, rule="r", message="msg")
+        assert anonymous.fingerprint() == ("r", "a.py", "msg")
+
+
+class TestRunLint:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "serving" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n")
+        result = run_lint(
+            [tmp_path / "src"], config=LintConfig(project_root=tmp_path),
+        )
+        assert [f.rule for f in result.findings] == [SYNTAX_ERROR_RULE]
+        assert not result.ok
+
+    def test_clean_tree_reports_ok_and_timing(self, tmp_path):
+        good = tmp_path / "src" / "repro" / "serving" / "good.py"
+        good.parent.mkdir(parents=True)
+        good.write_text("VALUE = 1\n")
+        result = run_lint(
+            [tmp_path / "src"], config=LintConfig(project_root=tmp_path),
+        )
+        assert result.ok
+        assert result.files == 1
+        assert result.elapsed_seconds > 0
+        assert result.files_per_second > 0
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__" / "mod.cpython-311.py").write_text("")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["mod.py"]
+
+
+class TestReporters:
+    def _result(self):
+        return LintResult(
+            findings=[Finding(
+                path="src/repro/serving/x.py", line=3,
+                rule="lock-discipline", message="oops", symbol="X.y",
+            )],
+            files=10, elapsed_seconds=0.5, suppressed=2,
+        )
+
+    def test_render_text_contains_diagnostic_and_summary(self):
+        text = render_text(self._result())
+        assert "src/repro/serving/x.py:3: lock-discipline: oops" in text
+        assert "1 finding(s)" in text
+        assert "2 suppressed" in text
+
+    def test_render_json_round_trips(self):
+        payload = json.loads(render_json(self._result()))
+        assert payload["summary"]["new"] == 1
+        assert payload["summary"]["ok"] is False
+        assert payload["summary"]["files"] == 10
+        assert payload["findings"][0]["rule"] == "lock-discipline"
+
+    def test_summarize_clean(self):
+        clean = LintResult(findings=[], files=3, elapsed_seconds=0.1)
+        assert "clean" in summarize(clean)

@@ -1,0 +1,180 @@
+"""The shipped tree is lint-clean, and seeding any of the five historical
+bug patterns back into the real sources makes the gate fail.
+
+The seeding tests are the acceptance criterion for the whole framework:
+each takes an actual repo file, re-introduces the exact pattern a past PR
+shipped (and later fixed), and asserts the linter reports it with a
+``file:line: rule:`` diagnostic.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import Baseline, LintConfig, lint_source, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+RUN_LINT = REPO_ROOT / "scripts" / "run_lint.py"
+
+
+def read(rel):
+    return (REPO_ROOT / rel).read_text(encoding="utf-8")
+
+
+class TestShippedTreeIsClean:
+    def test_src_clean_modulo_committed_baseline(self):
+        baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+        result = run_lint(
+            [SRC], config=LintConfig(project_root=REPO_ROOT), baseline=baseline,
+        )
+        assert result.ok, "\n".join(f.describe() for f in result.findings)
+        assert not result.stale, "\n".join(e.describe() for e in result.stale)
+
+    def test_tests_and_benchmarks_marker_clean(self):
+        result = run_lint(
+            [REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+            config=LintConfig(
+                enabled=["pytest-marker-declared"], project_root=REPO_ROOT,
+            ),
+        )
+        assert result.ok, "\n".join(f.describe() for f in result.findings)
+
+    def test_baseline_entries_are_justified(self):
+        baseline = Baseline.load(REPO_ROOT / "lint_baseline.json")
+        for entry in baseline:
+            assert entry.justification, entry.describe()
+            assert not entry.justification.startswith("TODO"), entry.describe()
+
+
+class TestSeededHistoricalBugs:
+    """Re-introduce each fixed bug pattern; the matching rule must fire."""
+
+    def seeded(self, source, path, rule):
+        return lint_source(
+            source, path,
+            config=LintConfig(enabled=[rule], project_root=REPO_ROOT),
+        )
+
+    def test_pr6_global_grad_flag(self):
+        # PR 6 shipped the grad flag as a process-global mutated via
+        # `global` from replica threads.  Revert tensor.py's thread-local
+        # state to that shape.
+        source = read("src/repro/nn/tensor.py")
+        assert "threading.local" in source
+        seeded = source.replace(
+            "import threading",
+            "import threading\n\n_grad_enabled = True\n\n"
+            "def _set_grad_enabled(value):\n"
+            "    global _grad_enabled\n"
+            "    _grad_enabled = value\n",
+            1,
+        )
+        findings = self.seeded(
+            seeded, "src/repro/nn/tensor.py", "thread-local-state",
+        )
+        assert any(f.symbol == "_grad_enabled" for f in findings)
+
+    def test_pr5_stats_mutation_outside_lock(self):
+        # PR 5's PipelineStats mutated counters outside _lock.  Move the
+        # guarded reset body out of its `with self._lock:` block.
+        source = read("src/repro/serving/pipeline.py")
+        target = "    def reset(self) -> None:\n        with self._lock:\n"
+        assert target in source
+        seeded = source.replace(
+            target,
+            "    def reset(self) -> None:\n        if True:\n",
+            1,
+        )
+        findings = self.seeded(
+            seeded, "src/repro/serving/pipeline.py", "lock-discipline",
+        )
+        assert any(f.symbol == "PipelineStats.reset" for f in findings)
+
+    def test_pr4_probe_without_restore(self):
+        # PR 4's reweighter called eval() for the probe and only switched
+        # back at the end of the happy path.  Strip _probe_mode's
+        # try/finally down to that shape.
+        source = read("src/repro/meta/reweight.py")
+        assert "finally:" in source
+        seeded = source.replace(
+            "        try:\n            yield\n        finally:\n"
+            "            self.model.train(was_training)",
+            "        yield\n        self.model.train(was_training)",
+            1,
+        )
+        assert seeded != source, "reweight.py _probe_mode shape changed"
+        findings = self.seeded(
+            seeded, "src/repro/meta/reweight.py", "probe-mode-discipline",
+        )
+        assert any("finally" in f.message for f in findings)
+
+    def test_hardcoded_float64_in_decode(self):
+        # The greedy-decode step upcast every logit slice to float64.
+        source = read("src/repro/generation/seq2seq.py")
+        assert "dtype=step_dtype" in source
+        seeded = source.replace("dtype=step_dtype)", "dtype=np.float64)", 1)
+        findings = self.seeded(
+            seeded, "src/repro/generation/seq2seq.py", "inference-dtype",
+        )
+        assert any(f.symbol.endswith("greedy_decode") for f in findings)
+
+    def test_unguarded_future_settle(self):
+        # Strip the InvalidStateError guard from LinkingService._settle:
+        # a racing abort() then raises on the worker thread.
+        source = read("src/repro/serving/service.py")
+        target = (
+            "        try:\n"
+            "            if error is not None:\n"
+            "                future.set_exception(error)\n"
+            "            else:\n"
+            "                future.set_result(result)\n"
+            "        except InvalidStateError:\n"
+            "            pass\n"
+        )
+        assert target in source
+        seeded = source.replace(
+            target,
+            "        if error is not None:\n"
+            "            future.set_exception(error)\n"
+            "        else:\n"
+            "            future.set_result(result)\n",
+            1,
+        )
+        findings = self.seeded(
+            seeded, "src/repro/serving/service.py", "future-hygiene",
+        )
+        assert any("InvalidStateError" in f.message for f in findings)
+
+
+class TestGateEndToEnd:
+    def test_cli_gate_fails_on_seeded_bug_with_diagnostic(self, tmp_path):
+        # Full-loop demo: run_lint.py over a seeded copy of a real file
+        # exits non-zero and prints a file:line:rule diagnostic.
+        source = read("src/repro/serving/pipeline.py")
+        target = "    def reset(self) -> None:\n        with self._lock:\n"
+        seeded_path = tmp_path / "src" / "repro" / "serving" / "pipeline.py"
+        seeded_path.parent.mkdir(parents=True)
+        seeded_path.write_text(source.replace(
+            target, "    def reset(self) -> None:\n        if True:\n", 1,
+        ))
+        proc = subprocess.run(
+            [sys.executable, str(RUN_LINT), str(seeded_path), "--no-baseline"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 1
+        assert ": lock-discipline: " in proc.stdout
+        # Diagnostic line format: path:line: rule: message
+        diagnostic = next(
+            line for line in proc.stdout.splitlines()
+            if ": lock-discipline: " in line
+        )
+        location = diagnostic.split(": lock-discipline: ")[0]
+        assert location.rsplit(":", 1)[1].isdigit()
+
+    def test_cli_gate_clean_on_shipped_tree(self):
+        proc = subprocess.run(
+            [sys.executable, str(RUN_LINT), "src"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
