@@ -15,12 +15,17 @@ Two measurement families land in ``BENCH_cluster.json``:
   config so a baseline is only ever judged on comparable hardware.
 
 * **Degraded-replica scenarios** — the standard cluster catalogue
-  (healthy baseline, kill, slow, freeze/thaw) driven through the
-  :class:`repro.bench.LoadHarness` with each scenario's
+  (healthy baseline, kill, slow, freeze/thaw, plus the self-healing
+  ``crash_loop_recovery`` and ``brownout_overload`` scenarios) driven
+  through the :class:`repro.bench.LoadHarness` with each scenario's
   :class:`~repro.serving.FaultPlan` injected mid-run.  Every scenario
   must finish with zero lost requests (completed == offered, errors == 0)
   and a degraded-but-passing SLO; the kill scenario additionally records
-  the requeue bookkeeping and the recovery-time metric.
+  the requeue bookkeeping and the recovery-time metric.  The supervised
+  scenarios run with a :class:`~repro.serving.Supervisor` attached and
+  land MTTR, availability and degraded-fraction in the payload, where
+  the regression gate polices them (``mttr_max_seconds`` lower is
+  better, ``availability`` higher is better).
 
 The last test demonstrates the regression gate on the fresh payload: the
 run passes against itself while a degraded copy fails.
@@ -53,7 +58,16 @@ from repro.data import generate_corpus, split_domain
 from repro.data.worlds import TEST_DOMAINS
 from repro.generation import build_tokenizer_for_corpus
 from repro.linking import BlinkPipeline
-from repro.serving import EntityLinkingPipeline, LinkingService, ReplicaPool, Router
+from repro.serving import (
+    BrownoutController,
+    BrownoutPolicy,
+    EntityLinkingPipeline,
+    LinkingService,
+    ReplicaPool,
+    RestartPolicy,
+    Router,
+    Supervisor,
+)
 from repro.utils.config import (
     BiEncoderConfig,
     CorpusConfig,
@@ -87,7 +101,48 @@ HEALTHY_SLO = SLOSpec(name="cluster-healthy", max_p99_ms=2000.0,
                       min_throughput=RATE / 4.0, max_error_rate=0.0,
                       min_accuracy=0.0, max_reject_rate=0.0)
 
+#: Self-healing scenarios run with a Supervisor attached.  Repairs are
+#: eager (no backoff, generous budget, min_uptime 0 so scripted re-kills
+#: never look like a crash loop) and the tick interval is far below the
+#: inter-kill spacing, so MTTR measures the repair path, not the timer.
+REPAIR_POLICY = RestartPolicy(initial_backoff_seconds=0.01, jitter=0.0,
+                              budget=16, budget_window_seconds=60.0,
+                              min_uptime_seconds=0.0)
+BROWNOUT_POLICY = BrownoutPolicy(enter_depth=32, exit_depth=8,
+                                 enter_sustain_seconds=0.1,
+                                 exit_sustain_seconds=0.2)
+SUPERVISOR_INTERVAL = 0.02
+
+#: Resilience SLOs: the self-heal scenario is judged on recovery (bounded
+#: MTTR, availability floor) on top of zero lost requests; the brownout
+#: scenario is allowed to degrade answer quality — but not for the entire
+#: run — in exchange for holding the latency/throughput bounds.
+SCENARIO_SLOS = {
+    "crash_loop_recovery": SLOSpec(
+        name="cluster-selfheal", max_p99_ms=10_000.0,
+        min_throughput=RATE / 8.0, max_error_rate=0.0,
+        min_accuracy=0.0, max_reject_rate=0.0,
+        max_mttr_seconds=5.0, min_availability=0.5,
+    ),
+    "brownout_overload": SLOSpec(
+        name="cluster-brownout", max_p99_ms=20_000.0,
+        min_throughput=RATE / 8.0, max_error_rate=0.0,
+        min_accuracy=0.0, max_reject_rate=0.0,
+        max_degraded_fraction=0.98,
+    ),
+}
+
 BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+
+def _wait_until(predicate, timeout=5.0, interval=0.01):
+    import time
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
 
 
 def _build_stack():
@@ -155,10 +210,28 @@ def cluster_results():
             max_batch_size=BATCH_SIZE, max_wait_ms=MAX_WAIT_MS,
         )
         with Router(pool, seed=SEED, affinity=False) as router:
-            harness = LoadHarness(router)
-            result = harness.run(scenario.workload, fault_plan=scenario.fault_plan)
-            snapshots[name] = router.stats.snapshot()["router"]
-        spec = HEALTHY_SLO if scenario.fault_plan is None else DEGRADED_SLO
+            supervisor = None
+            if scenario.supervised:
+                controller = (BrownoutController(BROWNOUT_POLICY)
+                              if scenario.brownout else None)
+                supervisor = Supervisor(router, policy=REPAIR_POLICY,
+                                        interval=SUPERVISOR_INTERVAL,
+                                        brownout=controller)
+            try:
+                harness = LoadHarness(router)
+                result = harness.run(scenario.workload,
+                                     fault_plan=scenario.fault_plan)
+                if scenario.brownout:
+                    # The backlog is drained; give the controller its exit
+                    # hysteresis so the snapshot shows a closed spell.
+                    _wait_until(lambda: not router.degraded)
+            finally:
+                if supervisor is not None:
+                    supervisor.close()
+            snapshots[name] = router.stats.snapshot()
+        spec = SCENARIO_SLOS.get(name) or (
+            HEALTHY_SLO if scenario.fault_plan is None else DEGRADED_SLO
+        )
         attach_slo(result, spec.evaluate(result))
         results.append(result)
     return results, snapshots, scaling
@@ -174,7 +247,8 @@ def _payload(results, snapshots, scaling):
     }
     payload = results_payload(results, config=config)
     for name, snapshot in snapshots.items():
-        payload["scenarios"][name]["cluster"] = snapshot
+        payload["scenarios"][name]["cluster"] = snapshot["router"]
+        payload["scenarios"][name]["resilience"] = snapshot["resilience"]
     payload["scaling"] = {
         "replicas": sorted(scaling),
         "throughput": {str(n): scaling[n] for n in sorted(scaling)},
@@ -187,7 +261,7 @@ def _payload(results, snapshots, scaling):
 
 def test_cluster_scenarios_degrade_gracefully(cluster_results):
     results, snapshots, scaling = cluster_results
-    assert len(results) == 4
+    assert len(results) == 6
     print()
     print(render_markdown(results, title="Cluster scenario lab"))
 
@@ -212,17 +286,37 @@ def test_cluster_scenarios_degrade_gracefully(cluster_results):
 
     by_name = {result.scenario: result for result in results}
     assert by_name["cluster_steady"].faults is None
-    for name in ("kill_replica", "slow_replica", "freeze_thaw"):
+    for name in ("kill_replica", "slow_replica", "freeze_thaw",
+                 "crash_loop_recovery", "brownout_overload"):
         faults = by_name[name].faults
         assert faults, f"{name} recorded no fault events"
         assert all("applied_at" in event for event in faults), faults
 
     # The kill actually happened and the router bookkeeping saw it.
-    kill = snapshots["kill_replica"]
+    kill = snapshots["kill_replica"]["router"]
     assert kill["deaths"] == 1
     assert kill["errors"] == 0
     assert kill["requeued"] >= 0
-    assert snapshots["cluster_steady"]["deaths"] == 0
+    assert snapshots["cluster_steady"]["router"]["deaths"] == 0
+
+    # Self-healing: the supervisor repaired every scripted kill with no
+    # manual restart, and the MTTR/availability payload records it.
+    crash = by_name["crash_loop_recovery"]
+    assert crash.restarts >= 3
+    assert crash.mttr_seconds and max(crash.mttr_seconds) < 5.0
+    assert crash.availability is not None and 0.5 < crash.availability <= 1.0
+    assert snapshots["crash_loop_recovery"]["resilience"]["restarts"] >= 3
+    assert snapshots["crash_loop_recovery"]["resilience"]["quarantined"] == []
+
+    # Brownout: the controller engaged under pressure, a real slice of the
+    # traffic was served degraded, and full quality was restored after.
+    brownout = by_name["brownout_overload"]
+    assert brownout.degraded > 0, "brownout never shed quality"
+    assert 0.0 < brownout.degraded_fraction < 1.0
+    resilience = snapshots["brownout_overload"]["resilience"]
+    assert resilience["brownout_engagements"] >= 1
+    assert resilience["degraded_seconds"] > 0.0
+    assert not resilience["degraded_active"]
 
 
 def test_four_replica_scaling_curve(cluster_results):
@@ -256,11 +350,20 @@ def test_regression_gate_on_fresh_cluster_payload(cluster_results):
         scenario["throughput"] /= 3.0
         for key in ("p50", "p90", "p99", "mean", "max"):
             scenario["latency_ms"][key] *= 3.0
+        # The resilience outcomes are gated too: a pool that recovers
+        # slower or is down longer must trip the gate.
+        if "availability" in scenario:
+            scenario["availability"] *= 0.4
+        if "mttr_max_seconds" in scenario:
+            scenario["mttr_max_seconds"] = scenario["mttr_max_seconds"] * 10 + 1.0
     for name in degraded["scaling"]["throughput"]:
         degraded["scaling"]["throughput"][name] /= 3.0
     gate = compare(degraded, payload, rtol=0.25, atol=0.05)
     assert not gate.passed
     # Throughput and latency regress per scenario, plus the scaling curve.
     assert len(gate.regressions) >= 2 * len(results) + len(scaling)
+    regressed = {check.metric for check in gate.regressions}
+    assert any("availability" in metric for metric in regressed)
+    assert any("mttr_max_seconds" in metric for metric in regressed)
     print()
     print(gate.summary())

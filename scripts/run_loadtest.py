@@ -13,8 +13,17 @@ With ``--replicas N`` (N >= 2) the front door is a
 :class:`~repro.serving.Router` over an N-wide :class:`~repro.serving.ReplicaPool`
 instead of a single service, and the degraded-replica scenarios from the
 cluster catalogue (``kill_replica``, ``slow_replica``, ``freeze_thaw``,
-plus the healthy ``cluster_steady`` baseline) become selectable — each
-replays its :class:`~repro.serving.FaultPlan` against the pool mid-run.
+the self-healing ``crash_loop_recovery`` and ``brownout_overload``, plus
+the healthy ``cluster_steady`` baseline) become selectable — each replays
+its :class:`~repro.serving.FaultPlan` against the pool mid-run.
+
+Scenarios marked ``supervised`` automatically run with a
+:class:`~repro.serving.Supervisor` attached (they are only survivable with
+auto-restart); ``--supervisor`` forces one onto every cluster scenario,
+``--restart-budget`` caps how many restarts the supervisor may spend per
+rolling window, and ``--brownout`` arms the brownout controller so
+degraded mode can engage under queue pressure even for scenarios that do
+not require it.
 
 Usage::
 
@@ -58,10 +67,14 @@ from repro.data.worlds import TEST_DOMAINS  # noqa: E402
 from repro.generation import build_tokenizer_for_corpus  # noqa: E402
 from repro.linking import BlinkPipeline  # noqa: E402
 from repro.serving import (  # noqa: E402
+    BrownoutController,
+    BrownoutPolicy,
     EntityLinkingPipeline,
     LinkingService,
     ReplicaPool,
+    RestartPolicy,
     Router,
+    Supervisor,
 )
 from repro.utils.config import (  # noqa: E402
     BiEncoderConfig,
@@ -74,6 +87,20 @@ from repro.utils.config import (  # noqa: E402
 #: absolute numbers on a developer laptop.
 DEFAULT_SLO = SLOSpec(name="lab-default", max_p99_ms=2000.0,
                       min_throughput=1.0, max_error_rate=0.0)
+
+#: Supervisor tuning for scripted chaos: eager repairs (no backoff) and a
+#: zero ``min_uptime`` so a scenario that deliberately re-kills the same
+#: replica is not mistaken for a crash loop and quarantined mid-run.
+SUPERVISOR_INTERVAL = 0.02
+BROWNOUT_POLICY = BrownoutPolicy(enter_depth=32, exit_depth=8,
+                                 enter_sustain_seconds=0.1,
+                                 exit_sustain_seconds=0.2)
+
+
+def repair_policy(budget: int) -> RestartPolicy:
+    return RestartPolicy(initial_backoff_seconds=0.01, jitter=0.0,
+                         budget=budget, budget_window_seconds=60.0,
+                         min_uptime_seconds=0.0)
 
 
 def build_service(args: argparse.Namespace):
@@ -122,13 +149,25 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="scenario names from the catalogue (default: all); "
                              "choices: steady_poisson burst ramp zipf_worlds "
                              "closed_loop, plus with --replicas >= 2: "
-                             "cluster_steady kill_replica slow_replica freeze_thaw")
+                             "cluster_steady kill_replica slow_replica "
+                             "freeze_thaw crash_loop_recovery brownout_overload")
     parser.add_argument("--replicas", type=int, default=1,
                         help="serve through a Router over this many pool "
                              "replicas instead of a single LinkingService "
                              "(>= 2 unlocks the degraded-replica scenarios)")
     parser.add_argument("--process-replicas", type=int, default=0,
                         help="how many pool slots are process-backed replicas")
+    parser.add_argument("--supervisor", action="store_true",
+                        help="attach a self-healing Supervisor to every "
+                             "cluster scenario, not just the ones that "
+                             "require it (needs --replicas >= 2)")
+    parser.add_argument("--restart-budget", type=int, default=16,
+                        help="restarts the supervisor may spend per rolling "
+                             "minute before it stops repairing")
+    parser.add_argument("--brownout", action="store_true",
+                        help="arm the supervisor's brownout controller on "
+                             "every cluster scenario so degraded mode can "
+                             "engage under queue pressure")
     parser.add_argument("--duration", type=float, default=2.0,
                         help="seconds of traffic per open-loop scenario")
     parser.add_argument("--rate", type=float, default=150.0,
@@ -171,6 +210,7 @@ def heal_pool(router: Router) -> None:
     reset and dead/stopped slots are restarted as fresh generations.
     """
     pool = router.pool
+    router.set_degraded(False)
     for slot in range(len(pool)):
         replica = pool.replica(slot)
         replica.set_delay(0.0)
@@ -183,6 +223,10 @@ def main(argv=None) -> int:
     args = parse_args(argv)
     if args.replicas < 1:
         raise SystemExit("--replicas must be >= 1")
+    if (args.supervisor or args.brownout) and args.replicas < 2:
+        raise SystemExit("--supervisor/--brownout need --replicas >= 2")
+    if args.restart_budget < 1:
+        raise SystemExit("--restart-budget must be >= 1")
     service, pools = build_service(args)
     catalogue = scenario_catalogue(
         pools, seed=args.seed, duration=args.duration, rate=args.rate,
@@ -213,7 +257,20 @@ def main(argv=None) -> int:
             print(f"running {name} ...", flush=True)
             entry = catalogue[name]
             if isinstance(entry, ClusterScenario):
-                result = harness.run(entry.workload, fault_plan=entry.fault_plan)
+                supervisor = None
+                if args.supervisor or entry.supervised:
+                    brownout = (BrownoutController(BROWNOUT_POLICY)
+                                if args.brownout or entry.brownout else None)
+                    supervisor = Supervisor(
+                        service, policy=repair_policy(args.restart_budget),
+                        interval=SUPERVISOR_INTERVAL, brownout=brownout,
+                    )
+                try:
+                    result = harness.run(entry.workload,
+                                         fault_plan=entry.fault_plan)
+                finally:
+                    if supervisor is not None:
+                        supervisor.close()
                 heal_pool(service)
             else:
                 result = harness.run(entry)

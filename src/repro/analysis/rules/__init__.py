@@ -5,6 +5,7 @@ Importing this package registers every rule with
 import, so ``registered_rules()`` is always fully populated.
 """
 
+from .bounded_wait import BoundedWaitRule
 from .dtype import InferenceDtypeRule
 from .futures import FutureHygieneRule
 from .grad_mode import ProbeModeDisciplineRule
@@ -12,6 +13,7 @@ from .markers import PytestMarkerDeclaredRule
 from .threading_rules import LockDisciplineRule, ThreadLocalStateRule
 
 __all__ = [
+    "BoundedWaitRule",
     "InferenceDtypeRule",
     "FutureHygieneRule",
     "ProbeModeDisciplineRule",

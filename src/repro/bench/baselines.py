@@ -46,6 +46,7 @@ LOWER_IS_BETTER = (
 #: Key substrings marking a metric where *larger* is better.
 HIGHER_IS_BETTER = (
     "per_second", "throughput", "accuracy", "_vs_", "speedup", "completed",
+    "availability",
 )
 
 #: Key substrings that are never gated: configuration, sample counts, ids,
@@ -55,10 +56,16 @@ HIGHER_IS_BETTER = (
 #: is also ungated — those counters describe *intentional* behaviour under
 #: an injected fault and swing with scheduling noise; the gate polices the
 #: outcomes instead (throughput, latency, errors, recovery_seconds).
+#: Resilience bookkeeping follows the same rule: per-event MTTR samples,
+#: restart/quarantine/expiry/brownout counters are ungated noise — the
+#: gated outcomes are ``mttr_max_seconds`` (lower is better, via
+#: ``seconds``) and ``availability`` (higher is better).
 UNGATED = (
     "config.", ".seed", ".count", ".samples", ".requests", "repeats",
     ".per_world.", ".rejected", "reject_rate", ".shed", ".requeued",
     ".deaths", ".affinity_misses", ".faults[",
+    ".mttr_seconds[", "degraded_seconds", ".quarantined", ".expired",
+    ".degraded", ".restarts", ".breaker_rejects", "brownout_engagements",
 )
 
 

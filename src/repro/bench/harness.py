@@ -53,7 +53,7 @@ import numpy as np
 from ..kb.entity import Mention
 from ..serving.cluster import FaultPlan, RejectedError, Router
 from ..serving.pipeline import LinkingResult
-from ..serving.service import LinkingService
+from ..serving.service import DeadlineExpiredError, LinkingService
 from .workloads import CLOSED_LOOP, Schedule, Workload
 
 #: Default interval of the queue-depth sampling ticker (seconds).
@@ -78,6 +78,13 @@ class ScenarioResult:
     bounded by its own SLO criterion (``max_reject_rate``).  ``faults``
     lists the fault-plan events actually applied during the run (empty
     list when a plan was given, ``None`` when none was).
+
+    The resilience fields: ``expired`` counts requests dropped past their
+    deadline; ``degraded`` counts completed requests answered by the
+    brownout pipeline; ``availability`` is the mean healthy-replica
+    fraction sampled over the run (``None`` for a bare service);
+    ``mttr_seconds`` lists per-recovery detect→restored gaps from the
+    supervisor and ``restarts`` how many repairs it made.
     """
 
     scenario: str
@@ -95,6 +102,11 @@ class ScenarioResult:
     slo: Optional[Dict[str, object]] = None
     rejected: int = 0
     faults: Optional[List[Dict[str, object]]] = None
+    expired: int = 0
+    degraded: int = 0
+    availability: Optional[float] = None
+    mttr_seconds: Optional[List[float]] = None
+    restarts: int = 0
 
     @property
     def error_rate(self) -> float:
@@ -114,6 +126,13 @@ class ScenarioResult:
             return 0.0
         return self.rejected / self.requests
 
+    @property
+    def degraded_fraction(self) -> float:
+        """Brownout-quality answers as a fraction of completed requests."""
+        if self.completed == 0:
+            return 0.0
+        return self.degraded / self.completed
+
     def to_dict(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "scenario": self.scenario,
@@ -131,7 +150,17 @@ class ScenarioResult:
             "accuracy": self.accuracy,
             "rejected": self.rejected,
             "reject_rate": round(self.reject_rate, 6),
+            "expired": self.expired,
+            "degraded": self.degraded,
+            "degraded_fraction": round(self.degraded_fraction, 6),
         }
+        if self.availability is not None:
+            payload["availability"] = round(self.availability, 6)
+        if self.mttr_seconds:
+            payload["mttr_seconds"] = [round(v, 6) for v in self.mttr_seconds]
+            payload["mttr_max_seconds"] = round(max(self.mttr_seconds), 6)
+        if self.restarts:
+            payload["restarts"] = self.restarts
         if self.faults is not None:
             payload["faults"] = self.faults
         if self.slo is not None:
@@ -151,6 +180,7 @@ class _RequestRecord:
     failed: bool = False
     timed_out: bool = False
     rejected: bool = False
+    expired: bool = False
 
 
 class _QueueDepthTicker:
@@ -161,12 +191,24 @@ class _QueueDepthTicker:
     single replica's queue, or a composite.  A sampling error (e.g. probing
     a replica mid-teardown) records a ``0`` rather than killing the ticker
     thread mid-scenario.
+
+    Against a cluster target the ticker doubles as the availability probe:
+    ``health_fn`` (healthy-replica fraction in ``[0, 1]``) is sampled on
+    the same cadence, and :meth:`availability` reports the mean — time a
+    replica spends dead between supervisor repairs shows up directly.
     """
 
-    def __init__(self, depth_fn: Callable[[], int], interval: float) -> None:
+    def __init__(
+        self,
+        depth_fn: Callable[[], int],
+        interval: float,
+        health_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
         self._depth_fn = depth_fn
         self._interval = interval
+        self._health_fn = health_fn
         self._samples: List[int] = []
+        self._health_samples: List[float] = []
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="load-harness-ticker", daemon=True
@@ -179,6 +221,12 @@ class _QueueDepthTicker:
             except Exception:
                 depth = 0
             self._samples.append(depth)
+            if self._health_fn is not None:
+                try:
+                    health = float(self._health_fn())
+                except Exception:
+                    health = 0.0
+                self._health_samples.append(health)
             self._stop.wait(self._interval)
 
     def __enter__(self) -> "_QueueDepthTicker":
@@ -198,6 +246,12 @@ class _QueueDepthTicker:
             "mean": float(samples.mean()),
             "samples": float(samples.size),
         }
+
+    def availability(self) -> Optional[float]:
+        """Mean healthy-replica fraction (``None`` without a health probe)."""
+        if self._health_fn is None or not self._health_samples:
+            return None
+        return float(np.mean(self._health_samples))
 
 
 class _FaultPlanRunner:
@@ -278,6 +332,11 @@ class LoadHarness:
         What the queue-depth ticker samples.  Defaults to the service's
         aggregate ``pending``; pass e.g. ``lambda: router.depths()[2]`` to
         watch one replica's queue instead.
+    request_deadline:
+        Optional end-to-end deadline (seconds) attached to every submitted
+        request.  Requests past it are dropped by the serving tier with
+        :class:`~repro.serving.service.DeadlineExpiredError` and counted
+        on :attr:`ScenarioResult.expired`.
     """
 
     def __init__(
@@ -287,15 +346,19 @@ class LoadHarness:
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         reset_stats: bool = True,
         depth_fn: Optional[Callable[[], int]] = None,
+        request_deadline: Optional[float] = None,
     ) -> None:
         if tick_interval <= 0:
             raise ValueError("tick_interval must be positive")
         if request_timeout <= 0:
             raise ValueError("request_timeout must be positive")
+        if request_deadline is not None and request_deadline <= 0:
+            raise ValueError("request_deadline must be positive")
         self.service = service
         self.tick_interval = tick_interval
         self.request_timeout = request_timeout
         self.reset_stats = reset_stats
+        self.request_deadline = request_deadline
         self.depth_fn: Callable[[], int] = (
             depth_fn if depth_fn is not None else lambda: self.service.pending
         )
@@ -337,8 +400,15 @@ class LoadHarness:
             self.service.stats.reset()
         self.service.reset_peak_pending()
 
+        health_fn: Optional[Callable[[], float]] = None
+        pool = getattr(self.service, "pool", None)
+        if pool is not None and len(pool) > 0:
+            health_fn = lambda: len(pool.healthy_slots()) / len(pool)  # noqa: E731
+
         faults: Optional[List[Dict[str, object]]] = None
-        with _QueueDepthTicker(self.depth_fn, self.tick_interval) as ticker:
+        with _QueueDepthTicker(
+            self.depth_fn, self.tick_interval, health_fn=health_fn
+        ) as ticker:
             started = time.perf_counter()
             injector = (
                 _FaultPlanRunner(self.service, fault_plan, started)
@@ -360,9 +430,16 @@ class LoadHarness:
         queue_depth = ticker.summary()
         queue_depth["peak"] = float(self.service.peak_pending)
 
+        # Supervisor repairs land in the target's ClusterStats; with
+        # reset_stats=True the window is exactly this run.
+        stats = getattr(self.service, "stats", None)
+        mttr_seconds = list(getattr(stats, "mttr_seconds", ()) or ())
+        restarts = int(getattr(stats, "restarts", 0) or 0)
+
         return self._summarise(
             scenario, schedule, seed, records, wall_seconds, queue_depth,
-            faults=faults,
+            faults=faults, availability=ticker.availability(),
+            mttr_seconds=mttr_seconds, restarts=restarts,
         )
 
     # ------------------------------------------------------------------
@@ -370,7 +447,14 @@ class LoadHarness:
     # ------------------------------------------------------------------
     def _submit(self, mention: Mention) -> _RequestRecord:
         submitted_at = time.perf_counter()
-        future = self.service.submit(mention)
+        if self.request_deadline is None:
+            future = self.service.submit(mention)
+        elif isinstance(self.service, Router):
+            future = self.service.submit(mention, deadline=self.request_deadline)
+        else:
+            future = self.service.submit(
+                mention, deadline_at=submitted_at + self.request_deadline
+            )
         record = _RequestRecord(
             mention=mention, future=future, submitted_at=submitted_at
         )
@@ -467,6 +551,10 @@ class LoadHarness:
                 record.timed_out = True
             except CancelledError:
                 record.timed_out = True
+            except DeadlineExpiredError:
+                # Must precede RejectedError: expiry is a RejectedError
+                # subclass but a *deadline* outcome, not admission shed.
+                record.expired = True
             except RejectedError:
                 record.rejected = True
             except Exception:
@@ -489,11 +577,16 @@ class LoadHarness:
         wall_seconds: float,
         queue_depth: Dict[str, float],
         faults: Optional[List[Dict[str, object]]] = None,
+        availability: Optional[float] = None,
+        mttr_seconds: Optional[List[float]] = None,
+        restarts: int = 0,
     ) -> ScenarioResult:
         completed = [r for r in records if r.result is not None]
         errors = sum(1 for r in records if r.failed)
         timeouts = sum(1 for r in records if r.timed_out)
         rejected = sum(1 for r in records if r.rejected)
+        expired = sum(1 for r in records if r.expired)
+        degraded = sum(1 for r in completed if r.result.degraded)
 
         latencies = np.asarray(
             [
@@ -547,4 +640,9 @@ class LoadHarness:
             accuracy=accuracy,
             rejected=rejected,
             faults=faults,
+            expired=expired,
+            degraded=degraded,
+            availability=availability,
+            mttr_seconds=mttr_seconds or None,
+            restarts=restarts,
         )

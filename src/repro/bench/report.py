@@ -82,7 +82,7 @@ def render_markdown(
     sections.append(_table(
         ["scenario", "kind", "requests", "throughput (req/s)", "p50 (ms)",
          "p99 (ms)", "peak queue", "errors", "timeouts", "rejected",
-         "accuracy", "SLO"],
+         "expired", "degraded", "accuracy", "SLO"],
         [
             [
                 result.scenario,
@@ -95,6 +95,8 @@ def render_markdown(
                 result.errors,
                 result.timeouts,
                 result.rejected,
+                result.expired,
+                result.degraded,
                 f"{float(result.accuracy['overall']):.3f}",
                 _verdict(result),
             ]

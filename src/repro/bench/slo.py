@@ -86,6 +86,14 @@ class SLOSpec:
     bounds cluster admission-control sheds separately — a degraded-replica
     scenario can tolerate some shedding (that *is* graceful degradation)
     while still failing on real errors.
+
+    The resilience bounds police the self-healing layer:
+    ``max_mttr_seconds`` caps the *worst* supervisor recovery (detect →
+    fresh replica standing; vacuously ``0.0`` when nothing died);
+    ``min_availability`` floors the mean healthy-replica fraction sampled
+    over the run (an unsampled bare service counts as ``1.0``);
+    ``max_degraded_fraction`` caps how much of the answer volume the
+    brownout controller was allowed to serve at reduced quality.
     """
 
     name: str = "default"
@@ -95,6 +103,9 @@ class SLOSpec:
     min_accuracy: Optional[float] = None
     max_error_rate: Optional[float] = None
     max_reject_rate: Optional[float] = None
+    max_mttr_seconds: Optional[float] = None
+    min_availability: Optional[float] = None
+    max_degraded_fraction: Optional[float] = None
 
     def evaluate(self, result: ScenarioResult) -> SLOReport:
         checks = []
@@ -130,6 +141,24 @@ class SLOSpec:
             checks.append(SLOCheck(
                 "reject_rate", "<=", self.max_reject_rate, result.reject_rate,
                 result.reject_rate <= self.max_reject_rate,
+            ))
+        if self.max_mttr_seconds is not None:
+            observed = max(result.mttr_seconds) if result.mttr_seconds else 0.0
+            checks.append(SLOCheck(
+                "mttr_max_seconds", "<=", self.max_mttr_seconds, observed,
+                observed <= self.max_mttr_seconds,
+            ))
+        if self.min_availability is not None:
+            observed = 1.0 if result.availability is None else result.availability
+            checks.append(SLOCheck(
+                "availability", ">=", self.min_availability, observed,
+                observed >= self.min_availability,
+            ))
+        if self.max_degraded_fraction is not None:
+            observed = result.degraded_fraction
+            checks.append(SLOCheck(
+                "degraded_fraction", "<=", self.max_degraded_fraction, observed,
+                observed <= self.max_degraded_fraction,
             ))
         return SLOReport(spec_name=self.name, checks=tuple(checks))
 

@@ -444,12 +444,21 @@ class ClusterScenario:
     injuries the harness injects while the workload runs.  ``description``
     states what graceful degradation means for the scenario — the SLO that
     should *still* pass with the fault active.
+
+    ``supervised`` marks scenarios that must run with a
+    :class:`~repro.serving.resilience.Supervisor` attached (the faults are
+    only survivable if something auto-restarts the dead replicas);
+    ``brownout`` marks scenarios that additionally need the supervisor's
+    :class:`~repro.serving.resilience.BrownoutController` so degraded mode
+    can engage under pressure.
     """
 
     name: str
     workload: Workload
     fault_plan: Optional["FaultPlan"] = None
     description: str = ""
+    supervised: bool = False
+    brownout: bool = False
 
 
 def cluster_scenario_catalogue(
@@ -469,13 +478,21 @@ def cluster_scenario_catalogue(
       router's least-pending balancing should route around it.
     * ``freeze_thaw`` — replica 0 freezes for the middle third of the run,
       then thaws; its backlog must drain without timeouts.
+    * ``crash_loop_recovery`` — the same replica is killed at 25%, 50% and
+      75% of the run with *no* scripted restarts: only a running
+      :class:`~repro.serving.resilience.Supervisor` can bring it back, so
+      the scenario proves auto-repair (zero lost requests, bounded MTTR).
+    * ``brownout_overload`` — sustained traffic at 4x ``rate`` while every
+      replica gains a per-batch drag; the queue pressure is the injury.
+      Passes its SLO only because the brownout controller sheds answer
+      quality (degraded pipeline) instead of violating the latency bound.
 
     Fault times scale with ``duration`` so shorter smoke runs exercise the
     same phases.  All scenarios share one ``seed`` — the arrival schedule
     under a fault is byte-identical to the healthy baseline's, so any
     difference in the measurements is the fault, not the traffic.
     """
-    from ..serving.cluster import FaultPlan  # late: avoid import cycle
+    from ..serving.cluster import FaultEvent, FaultPlan  # late: avoid import cycle
 
     if replicas <= 1:
         raise ValueError("cluster scenarios need at least 2 replicas")
@@ -523,6 +540,46 @@ def cluster_scenario_catalogue(
             description=(
                 "one replica stalls for the middle third, then recovers; "
                 "its backlog must drain without timeouts"
+            ),
+        ),
+        "crash_loop_recovery": ClusterScenario(
+            name="crash_loop_recovery",
+            workload=steady("crash_loop_recovery"),
+            fault_plan=FaultPlan(tuple(
+                FaultEvent(
+                    at=duration * fraction, action="kill",
+                    replica=replicas - 1,
+                )
+                for fraction in (0.25, 0.5, 0.75)
+            )),
+            supervised=True,
+            description=(
+                "the same replica is killed three times with no scripted "
+                "restarts; the supervisor alone recovers each kill — zero "
+                "lost requests, bounded MTTR"
+            ),
+        ),
+        "brownout_overload": ClusterScenario(
+            name="brownout_overload",
+            workload=Workload(
+                PoissonArrivals(rate=4.0 * rate, duration=duration),
+                uniform, seed, name="brownout_overload",
+            ),
+            # Every replica gains a per-batch drag early on: 4x arrivals
+            # alone cannot saturate a fast machine, so the slowdown is what
+            # guarantees sustained queue pressure on any hardware — the
+            # brownout controller, not headroom, has to absorb it.
+            fault_plan=FaultPlan(tuple(
+                FaultEvent(at=duration * 0.05, action="slow", replica=slot,
+                           value=0.25)
+                for slot in range(replicas)
+            )),
+            supervised=True,
+            brownout=True,
+            description=(
+                "sustained 4x overload while every replica drags; degraded "
+                "mode sheds answer quality so the backlog drains and the "
+                "SLO still holds"
             ),
         ),
     }

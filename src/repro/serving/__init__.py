@@ -18,6 +18,12 @@ cross-encoder reranking) into a production-shaped serving path:
   :class:`~repro.serving.cluster.RejectedError` sheds) and automatic requeue
   from dead replicas, plus :class:`~repro.serving.cluster.FaultPlan` scripts
   for chaos testing.
+* :mod:`repro.serving.resilience` — the self-healing layer: a
+  :class:`~repro.serving.resilience.Supervisor` thread that auto-restarts
+  dead replicas under a :class:`~repro.serving.resilience.RestartPolicy`,
+  per-replica circuit breakers, end-to-end request deadlines and a
+  :class:`~repro.serving.resilience.BrownoutController` that trades answer
+  quality for latency under sustained overload.
 
 Quickstart::
 
@@ -40,6 +46,7 @@ Quickstart::
 
 from .cluster import (
     AdmissionPolicy,
+    BreakerOpenError,
     ClusterStats,
     FaultEvent,
     FaultInjector,
@@ -59,7 +66,20 @@ from .pipeline import (
     LinkingResult,
     PipelineStats,
 )
-from .service import DEFAULT_MAX_WAIT_MS, LinkingService
+from .resilience import (
+    BreakerPolicy,
+    BrownoutController,
+    BrownoutPolicy,
+    CircuitBreaker,
+    RestartPolicy,
+    Supervisor,
+)
+from .service import (
+    DEFAULT_MAX_WAIT_MS,
+    DeadlineExpiredError,
+    LinkingService,
+    OverCapacityError,
+)
 from .stages import (
     EmbedStage,
     MentionTokens,
@@ -72,15 +92,22 @@ from .stages import (
 
 __all__ = [
     "AdmissionPolicy",
+    "BreakerOpenError",
+    "BreakerPolicy",
+    "BrownoutController",
+    "BrownoutPolicy",
+    "CircuitBreaker",
     "ClusterStats",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_MAX_WAIT_MS",
+    "DeadlineExpiredError",
     "EntityLinkingPipeline",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "LinkingResult",
     "LinkingService",
+    "OverCapacityError",
     "PipelineStats",
     "ProcessReplica",
     "RejectedError",
@@ -88,7 +115,9 @@ __all__ = [
     "ReplicaDiedError",
     "ReplicaHealth",
     "ReplicaPool",
+    "RestartPolicy",
     "Router",
+    "Supervisor",
     "ThreadReplica",
     "PipelineBatch",
     "MentionTokens",

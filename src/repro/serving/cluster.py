@@ -61,7 +61,17 @@ from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -75,7 +85,17 @@ from .pipeline import (
     LinkingResult,
     PipelineStats,
 )
-from .service import DEFAULT_MAX_WAIT_MS, LinkingService, warm_up_index
+from .service import (
+    DEFAULT_MAX_WAIT_MS,
+    DeadlineExpiredError,
+    LinkingService,
+    OverCapacityError,
+    RejectedError,
+    warm_up_index,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .resilience import BreakerPolicy
 
 #: Replica lifecycle states.
 HEALTHY = "healthy"
@@ -90,11 +110,12 @@ FAULT_POLL_SECONDS = 0.02
 FAULT_ACTIONS = ("kill", "slow", "freeze", "unfreeze", "drain", "restart")
 
 
-class RejectedError(RuntimeError):
-    """A submit shed by admission control — the service is over its watermark.
+class BreakerOpenError(RejectedError):
+    """Every healthy replica's circuit breaker is open — dispatch refused.
 
-    Raised *through the returned future*, immediately at submit time: a shed
-    request never occupies a queue slot and never times out.
+    Non-retryable: the breakers exist precisely because those replicas keep
+    failing, so bouncing the request between them only adds load.  Callers
+    should back off and retry after the breaker cooldown.
     """
 
 
@@ -103,7 +124,11 @@ class ReplicaDiedError(RuntimeError):
 
     The router treats this error as retryable and requeues the request on a
     healthy replica; callers only observe it when no healthy replica remains
-    or the retry budget is exhausted.
+    or the retry budget is exhausted.  Contrast the non-retryable
+    :class:`~repro.serving.service.RejectedError` taxonomy: "over capacity"
+    (:class:`~repro.serving.service.OverCapacityError`), "too late"
+    (:class:`~repro.serving.service.DeadlineExpiredError`) and "replica
+    unhealthy" (:class:`BreakerOpenError`).
     """
 
 
@@ -238,7 +263,9 @@ class Replica:
     def stats(self) -> PipelineStats:
         raise NotImplementedError
 
-    def submit(self, mention: Mention) -> "Future[LinkingResult]":
+    def submit(
+        self, mention: Mention, deadline_at: Optional[float] = None
+    ) -> "Future[LinkingResult]":
         raise NotImplementedError
 
     def probe(self) -> ReplicaHealth:
@@ -257,6 +284,9 @@ class Replica:
         raise NotImplementedError
 
     def unfreeze(self) -> None:
+        raise NotImplementedError
+
+    def set_degraded(self, degraded: bool) -> None:
         raise NotImplementedError
 
 
@@ -325,11 +355,15 @@ class ThreadReplica(Replica):
         return self.pipeline.stats
 
     # -- request path ---------------------------------------------------
-    def submit(self, mention: Mention) -> "Future[LinkingResult]":
+    def submit(
+        self, mention: Mention, deadline_at: Optional[float] = None
+    ) -> "Future[LinkingResult]":
         if self.state != HEALTHY:
             raise ReplicaDiedError(f"{self.name} is {self.state}")
         try:
-            return self._service.submit(mention)
+            return self._service.submit(mention, deadline_at=deadline_at)
+        except RejectedError:
+            raise  # non-retryable by design — do not disguise as a death
         except RuntimeError as error:
             # Lost the race against a concurrent drain/kill: surface it as
             # a retryable replica error so the router re-picks.
@@ -378,6 +412,11 @@ class ThreadReplica(Replica):
     def unfreeze(self) -> None:
         self.faults.unfreeze()
 
+    # -- brownout -------------------------------------------------------
+    def set_degraded(self, degraded: bool) -> None:
+        """Flip this replica's pipeline into/out of brownout mode."""
+        self.pipeline.set_degraded(degraded)
+
 
 # ----------------------------------------------------------------------
 # Process-backed replica
@@ -390,7 +429,11 @@ def _process_worker_main(conn, pipeline: EntityLinkingPipeline) -> None:
             kind = message[0]
             if kind == "stop":
                 break
-            if kind == "batch":
+            if kind == "degrade":
+                # Fire-and-forget control message: messages are handled in
+                # order, so the next batch already runs in the new mode.
+                pipeline.set_degraded(message[1])
+            elif kind == "batch":
                 try:
                     conn.send(("results", pipeline.link(message[1])))
                 except Exception as error:  # surface, do not kill the worker
@@ -439,6 +482,17 @@ class _PipelineProxy:
         self.stats.record("remote", time.perf_counter() - started)
         self.stats.record_batch(len(mentions))
         return payload
+
+    def set_degraded(self, degraded: bool) -> None:
+        # Mirrors EntityLinkingPipeline.set_degraded across the pipe.  No
+        # reply: the worker loop handles messages in order, so the flip is
+        # visible to the next batch; a dead worker is caught by the next
+        # link() anyway, so send failures are ignored here.
+        with self._io_lock:
+            try:
+                self._conn.send(("degrade", bool(degraded)))
+            except (OSError, BrokenPipeError):
+                pass
 
 
 class ProcessReplica(ThreadReplica):
@@ -659,6 +713,16 @@ class ClusterStats:
         self._affinity_misses = 0
         self._first_death_at: Optional[float] = None
         self._last_requeue_done_at: Optional[float] = None
+        # Resilience bookkeeping (supervisor restarts, breaker/brownout).
+        self._expired = 0
+        self._breaker_rejects = 0
+        self._restarts = 0
+        self._mttr: List[float] = []
+        self._quarantined: set = set()
+        self._brownout_engagements = 0
+        self._degraded_active = False
+        self._degraded_since: Optional[float] = None
+        self._degraded_seconds = 0.0
 
     # -- recording (router hot path) ------------------------------------
     def record_submit(self) -> None:
@@ -696,6 +760,42 @@ class ClusterStats:
         with self._lock:
             self._affinity_misses += 1
 
+    def record_expired(self) -> None:
+        with self._lock:
+            self._expired += 1
+
+    def record_breaker_reject(self) -> None:
+        with self._lock:
+            self._breaker_rejects += 1
+
+    # -- resilience recording (supervisor / brownout controller) ---------
+    def record_restart(self, slot: int, mttr_seconds: float) -> None:
+        """One supervisor-driven slot recovery; ``mttr_seconds`` is the gap
+        between the death being detected and the fresh replica standing."""
+        with self._lock:
+            self._restarts += 1
+            self._mttr.append(max(mttr_seconds, 0.0))
+            self._quarantined.discard(slot)
+
+    def record_quarantine(self, slot: int) -> None:
+        """Mark a slot as crash-looping (idempotent — the supervisor
+        re-asserts quarantines each tick so a stats reset cannot hide one)."""
+        with self._lock:
+            self._quarantined.add(slot)
+
+    def record_brownout(self, active: bool) -> None:
+        """Track brownout transitions and cumulative degraded wall time."""
+        now = time.perf_counter()
+        with self._lock:
+            if active and not self._degraded_active:
+                self._brownout_engagements += 1
+                self._degraded_since = now
+            elif not active and self._degraded_active:
+                if self._degraded_since is not None:
+                    self._degraded_seconds += now - self._degraded_since
+                self._degraded_since = None
+            self._degraded_active = active
+
     # -- aggregate reads -------------------------------------------------
     @property
     def submitted(self) -> int:
@@ -732,6 +832,48 @@ class ClusterStats:
             if self._first_death_at is None or self._last_requeue_done_at is None:
                 return None
             return max(self._last_requeue_done_at - self._first_death_at, 0.0)
+
+    @property
+    def expired(self) -> int:
+        with self._lock:
+            return self._expired
+
+    @property
+    def restarts(self) -> int:
+        with self._lock:
+            return self._restarts
+
+    @property
+    def mttr_seconds(self) -> Tuple[float, ...]:
+        """Per-incident recovery times of supervisor-driven restarts."""
+        with self._lock:
+            return tuple(self._mttr)
+
+    @property
+    def quarantined(self) -> Tuple[int, ...]:
+        """Slots the supervisor has quarantined as crash-looping."""
+        with self._lock:
+            return tuple(sorted(self._quarantined))
+
+    @property
+    def brownout_engagements(self) -> int:
+        with self._lock:
+            return self._brownout_engagements
+
+    @property
+    def degraded_active(self) -> bool:
+        with self._lock:
+            return self._degraded_active
+
+    @property
+    def degraded_seconds(self) -> float:
+        """Cumulative wall time spent in brownout, including a live spell."""
+        now = time.perf_counter()
+        with self._lock:
+            total = self._degraded_seconds
+            if self._degraded_active and self._degraded_since is not None:
+                total += now - self._degraded_since
+            return total
 
     @property
     def mentions(self) -> int:
@@ -796,7 +938,18 @@ class ClusterStats:
                 "requeued": self._requeues,
                 "deaths": self._deaths,
                 "affinity_misses": self._affinity_misses,
+                "expired": self._expired,
+                "breaker_rejects": self._breaker_rejects,
             }
+            resilience = {
+                "restarts": self._restarts,
+                "mttr_seconds": list(self._mttr),
+                "mttr_max_seconds": max(self._mttr) if self._mttr else 0.0,
+                "quarantined": sorted(self._quarantined),
+                "brownout_engagements": self._brownout_engagements,
+                "degraded_active": self._degraded_active,
+            }
+        resilience["degraded_seconds"] = self.degraded_seconds
         recovery = self.recovery_seconds
         if recovery is not None:
             router["recovery_seconds"] = recovery
@@ -809,6 +962,7 @@ class ClusterStats:
             },
             "latency": self.latency_summary(),
             "per_replica": per_replica,
+            "resilience": resilience,
         }
 
     def reset(self) -> None:
@@ -824,6 +978,18 @@ class ClusterStats:
             self._affinity_misses = 0
             self._first_death_at = None
             self._last_requeue_done_at = None
+            self._expired = 0
+            self._breaker_rejects = 0
+            self._restarts = 0
+            self._mttr.clear()
+            self._quarantined.clear()
+            self._brownout_engagements = 0
+            self._degraded_seconds = 0.0
+            # A live brownout spell survives the reset: only the accumulated
+            # time is cleared, so a scenario starting mid-brownout still
+            # accounts the ongoing spell from its own start.
+            if self._degraded_active:
+                self._degraded_since = time.perf_counter()
         for replica in self._pool.replicas:
             replica.stats.reset()
 
@@ -990,6 +1156,7 @@ class _ClusterRequest:
     caller: "Future[LinkingResult]"
     request_class: str
     submitted_at: float
+    deadline_at: Optional[float] = None
     attempts: int = 0
     requeued: bool = False
 
@@ -1033,6 +1200,8 @@ class Router:
         seed: int = 0,
         max_attempts: Optional[int] = None,
         record_dispatch: bool = False,
+        breakers: bool = True,
+        breaker_policy: Optional["BreakerPolicy"] = None,
     ) -> None:
         if max_attempts is not None and max_attempts <= 0:
             raise ValueError("max_attempts must be positive")
@@ -1045,6 +1214,7 @@ class Router:
         self._pending = 0
         self._peak_pending = 0
         self._closing = False
+        self._degraded = False
         # Seeded tie-break: rank[i] orders replicas with equal queue depth.
         permutation = np.random.default_rng(seed).permutation(len(pool))
         self._tiebreak_rank = {int(slot): rank for rank, slot in enumerate(permutation)}
@@ -1052,6 +1222,20 @@ class Router:
         self.dispatch_log: Optional[List[Tuple[str, int]]] = (
             [] if record_dispatch else None
         )
+        # Per-slot circuit breakers: flapping replicas are routed around
+        # before they fully die.  The default policy never opens on a
+        # healthy replica (it needs a windowed error-rate majority), so
+        # breakers are on unless explicitly disabled.
+        self._breakers: Dict[int, "CircuitBreaker"] = {}
+        if breakers:
+            from .resilience import BreakerPolicy, CircuitBreaker  # late: cycle
+
+            policy = breaker_policy or BreakerPolicy()
+            self._breakers = {
+                slot: CircuitBreaker(policy) for slot in range(len(pool))
+            }
+        elif breaker_policy is not None:
+            raise ValueError("breaker_policy given but breakers=False")
 
     # ------------------------------------------------------------------
     # Dispatch policy
@@ -1064,16 +1248,35 @@ class Router:
         return min(slots, key=lambda slot: (depths[slot], self._tiebreak_rank[slot]))
 
     def _pick_slot(self, mention: Mention) -> Optional[int]:
+        """The dispatch slot for one mention, or ``None`` with no healthy
+        replicas.  Raises :class:`BreakerOpenError` when healthy replicas
+        exist but every breaker is open — a different failure from "dead":
+        capacity is nominally there, it just keeps erroring.
+        """
         healthy = self.pool.healthy_slots()
         if not healthy:
             return None
+        allowed = [slot for slot in healthy if self._breaker_allows(slot)]
+        if not allowed:
+            self.stats.record_breaker_reject()
+            raise BreakerOpenError(
+                f"all {len(healthy)} healthy replica(s) have open circuit "
+                f"breakers; retry after the cooldown"
+            )
         if self.affinity:
             home = self.home_slot(mention.domain)
-            if home in healthy:
+            if home in allowed:
                 return home
+            # Unhealthy home slot *or* a healthy one with an open breaker:
+            # either way the request spills to least-pending, and the miss
+            # counter records that affinity was not honoured.
             self.stats.record_affinity_miss()
-        depths = {slot: self.pool.replica(slot).pending for slot in healthy}
-        return self._least_pending(healthy, depths)
+        depths = {slot: self.pool.replica(slot).pending for slot in allowed}
+        return self._least_pending(allowed, depths)
+
+    def _breaker_allows(self, slot: int) -> bool:
+        breaker = self._breakers.get(slot)
+        return breaker is None or breaker.allows()
 
     def assignment_plan(self, mentions: Sequence[Mention]) -> List[int]:
         """The deterministic dispatch assignment for a mention sequence.
@@ -1101,16 +1304,30 @@ class Router:
     # Request path
     # ------------------------------------------------------------------
     def submit(
-        self, mention: Mention, request_class: str = "default"
+        self,
+        mention: Mention,
+        request_class: str = "default",
+        deadline: Optional[float] = None,
     ) -> "Future[LinkingResult]":
         """Admit, dispatch and return a future for one mention.
 
         Shed requests get a future that already holds
-        :class:`RejectedError` — callers distinguish "over capacity" from
-        "slow" without waiting.  Raises ``RuntimeError`` after
-        :meth:`close`.
+        :class:`~repro.serving.service.OverCapacityError` — callers
+        distinguish "over capacity" from "slow" without waiting.  Raises
+        ``RuntimeError`` after :meth:`close`.
+
+        ``deadline`` is a *relative* budget in seconds: once it elapses the
+        request is dropped with
+        :class:`~repro.serving.service.DeadlineExpiredError` wherever it
+        happens to be queued — at the router, awaiting requeue after a
+        replica death, or in a replica's batch queue — instead of consuming
+        a batch slot on an answer nobody waits for.
         """
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be non-negative")
         caller: "Future[LinkingResult]" = Future()
+        submitted_at = time.perf_counter()
+        deadline_at = None if deadline is None else submitted_at + deadline
         limit = self.admission.limit_for(request_class)
         with self._lock:
             if self._closing:
@@ -1125,7 +1342,7 @@ class Router:
                     self._peak_pending = self._pending
         if shed:
             self.stats.record_shed(request_class)
-            caller.set_exception(RejectedError(
+            caller.set_exception(OverCapacityError(
                 f"request class {request_class!r} shed: aggregate pending "
                 f"{depth} >= watermark {limit}"
             ))
@@ -1133,7 +1350,7 @@ class Router:
         self.stats.record_submit()
         request = _ClusterRequest(
             mention=mention, caller=caller, request_class=request_class,
-            submitted_at=time.perf_counter(),
+            submitted_at=submitted_at, deadline_at=deadline_at,
         )
         self._dispatch(request)
         return caller
@@ -1154,13 +1371,27 @@ class Router:
 
     def _dispatch(self, request: _ClusterRequest) -> None:
         while True:
+            if (
+                request.deadline_at is not None
+                and time.perf_counter() >= request.deadline_at
+            ):
+                self.stats.record_expired()
+                self._finalize(request, error=DeadlineExpiredError(
+                    f"request {request.mention.mention_id} expired before "
+                    f"dispatch"
+                ))
+                return
             if request.attempts >= self.max_attempts:
                 self._finalize(request, error=ReplicaDiedError(
                     f"request {request.mention.mention_id} exhausted "
                     f"{self.max_attempts} attempts"
                 ))
                 return
-            slot = self._pick_slot(request.mention)
+            try:
+                slot = self._pick_slot(request.mention)
+            except BreakerOpenError as error:
+                self._finalize(request, error=error)
+                return
             if slot is None:
                 self._finalize(request, error=ReplicaDiedError(
                     "no healthy replicas available"
@@ -1169,26 +1400,49 @@ class Router:
             request.attempts += 1
             replica = self.pool.replica(slot)
             try:
-                inner = replica.submit(request.mention)
+                inner = replica.submit(
+                    request.mention, deadline_at=request.deadline_at
+                )
             except ReplicaDiedError:
                 continue  # lost a race with drain/kill — re-pick
+            breaker = self._breakers.get(slot)
+            if breaker is not None:
+                breaker.on_dispatch()
             if self.dispatch_log is not None:
                 self.dispatch_log.append((request.mention.mention_id, slot))
             inner.add_done_callback(
-                lambda done, request=request: self._on_inner_done(request, done)
+                lambda done, request=request, slot=slot: (
+                    self._on_inner_done(request, slot, done)
+                )
             )
             return
 
     def _on_inner_done(
-        self, request: _ClusterRequest, inner: "Future[LinkingResult]"
+        self, request: _ClusterRequest, slot: int,
+        inner: "Future[LinkingResult]",
     ) -> None:
+        breaker = self._breakers.get(slot)
         if inner.cancelled():
             self._finalize(request, cancelled=True)
             return
         error = inner.exception()
         if error is None:
-            self._finalize(request, result=inner.result())
+            if breaker is not None:
+                breaker.record_success()
+            # Done-callback context: the future is settled, so this never
+            # blocks (timeout=0 keeps that machine-checked).
+            self._finalize(request, result=inner.result(timeout=0))
             return
+        if isinstance(error, DeadlineExpiredError):
+            # The replica dropped the request for being late — the replica
+            # itself is fine, so the breaker sees neither success nor
+            # failure, and retrying a request that is already past its
+            # deadline would be wasted work.
+            self.stats.record_expired()
+            self._finalize(request, error=error)
+            return
+        if breaker is not None:
+            breaker.record_failure()
         retryable = isinstance(error, ReplicaDiedError)
         if retryable and request.attempts < self.max_attempts and not self._closing:
             request.requeued = True
@@ -1269,6 +1523,56 @@ class Router:
             probes.append(health)
         return probes
 
+    def breaker_states(self) -> Dict[int, str]:
+        """Per-slot circuit-breaker state names (empty when disabled)."""
+        return {slot: breaker.state for slot, breaker in self._breakers.items()}
+
+    def reset_breaker(self, slot: int) -> None:
+        """Force one slot's breaker back to closed (fresh replica)."""
+        breaker = self._breakers.get(slot)
+        if breaker is not None:
+            breaker.reset()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the cluster is currently serving in brownout mode."""
+        with self._lock:
+            return self._degraded
+
+    def set_degraded(self, degraded: bool) -> None:
+        """Flip every replica between full-quality and brownout pipelines.
+
+        Idempotent; the flag is remembered so replicas restarted later (by
+        the supervisor or :meth:`restart_replica`) inherit the current mode.
+        Dead replicas are skipped best-effort — they pick the mode up on
+        restart.
+        """
+        degraded = bool(degraded)
+        with self._lock:
+            if self._degraded == degraded:
+                return
+            self._degraded = degraded
+        self.stats.record_brownout(degraded)
+        for replica in self.pool.replicas:
+            try:
+                replica.set_degraded(degraded)
+            except (ReplicaDiedError, RuntimeError, OSError):
+                continue  # dead/closing replica inherits the mode on restart
+
+    def restart_replica(self, slot: int, timeout: Optional[float] = None) -> None:
+        """Replace one slot with a fresh replica, resetting its breaker and
+        re-applying the current brownout mode (the supervisor's repair
+        primitive; also what ``apply_fault("restart")`` routes through)."""
+        self.pool.restart(slot, timeout=timeout)
+        self.reset_breaker(slot)
+        with self._lock:
+            degraded = self._degraded
+        if degraded:
+            try:
+                self.pool.replica(slot).set_degraded(True)
+            except (ReplicaDiedError, RuntimeError, OSError):
+                pass  # died immediately after restart — next cycle handles it
+
     # ------------------------------------------------------------------
     # Lifecycle & faults
     # ------------------------------------------------------------------
@@ -1317,6 +1621,6 @@ class Router:
                 name=f"drain-replica-{slot}", daemon=True,
             ).start()
         elif event.action == "restart":
-            self.pool.restart(slot)
+            self.restart_replica(slot)
         else:  # pragma: no cover - FaultEvent validates actions
             raise ValueError(f"unknown fault action {event.action!r}")

@@ -71,6 +71,11 @@ class LinkingResult:
     retrieval_scores: List[float]
     predicted_entity_id: Optional[str]
     rerank_scores: Optional[List[float]] = None
+    #: True when the result was produced in brownout (degraded) mode —
+    #: rerank skipped and a shrunken retrieval top-k.  Callers that care
+    #: about answer quality can retry later; SLO accounting tracks the
+    #: degraded fraction separately.
+    degraded: bool = False
 
     @property
     def gold_in_candidates(self) -> bool:
@@ -240,6 +245,9 @@ class EntityLinkingPipeline:
     route_by_domain:
         With a sharded index, route each mention to its own world's shard
         (the zero-shot serving setup) instead of fanning out to all shards.
+    degraded_k:
+        Retrieval budget of the brownout (degraded) stage list; defaults to
+        ``max(1, k // 4)``.  See :meth:`set_degraded`.
     """
 
     def __init__(
@@ -251,25 +259,42 @@ class EntityLinkingPipeline:
         rerank: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
         route_by_domain: bool = True,
+        degraded_k: Optional[int] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if k <= 0:
             raise ValueError("k must be positive")
+        if degraded_k is None:
+            degraded_k = max(1, k // 4)
+        if degraded_k <= 0:
+            raise ValueError("degraded_k must be positive")
         self.biencoder = biencoder
         self.index = index
         self.crossencoder = crossencoder
         self.k = k
+        self.degraded_k = degraded_k
         self.batch_size = batch_size
         self.rerank = rerank and crossencoder is not None
         self.route_by_domain = route_by_domain
         self.stats = PipelineStats()
+        self._degraded = False
 
         self.stages = [
             TokenizeStage(biencoder.tokenizer),
             EmbedStage(biencoder, batch_size=None),  # micro-batching happens in link()
             RetrieveStage(index, k=k, route_by_domain=route_by_domain),
             RerankStage(crossencoder) if self.rerank else TopCandidateStage(),
+        ]
+        # The brownout stage list: same tokenize/embed stages (their caches
+        # stay warm), a shrunken retrieval budget and no cross-encoder — the
+        # cheapest configuration that still answers.  Built up front so
+        # flipping modes mid-traffic allocates nothing.
+        self._degraded_stages = [
+            self.stages[0],
+            self.stages[1],
+            RetrieveStage(index, k=degraded_k, route_by_domain=route_by_domain),
+            TopCandidateStage(),
         ]
 
     # ------------------------------------------------------------------
@@ -333,7 +358,28 @@ class EntityLinkingPipeline:
             rerank=self.rerank,
             batch_size=self.batch_size,
             route_by_domain=self.route_by_domain,
+            degraded_k=self.degraded_k,
         )
+
+    # ------------------------------------------------------------------
+    # Brownout (degraded) mode
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the pipeline is currently in brownout (degraded) mode."""
+        return self._degraded
+
+    def set_degraded(self, degraded: bool) -> None:
+        """Flip between the full and the degraded stage list.
+
+        Degraded mode drops the cross-encoder rerank and shrinks retrieval
+        to ``degraded_k`` candidates — quality is shed instead of latency
+        when the cluster is under sustained queue pressure.  Results carry
+        :attr:`LinkingResult.degraded` so callers and SLO accounting can
+        tell.  The flag is a plain attribute read once per micro-batch; a
+        mid-batch flip affects the *next* batch, never splits one.
+        """
+        self._degraded = bool(degraded)
 
     # ------------------------------------------------------------------
     # Linking
@@ -359,15 +405,19 @@ class EntityLinkingPipeline:
     def _link_chunk(self, mentions: List[Mention]) -> List[LinkingResult]:
         if not mentions:
             return []
+        degraded = self._degraded  # one read: the whole chunk runs one mode
+        stages = self._degraded_stages if degraded else self.stages
         batch = PipelineBatch(mentions=mentions)
-        for stage in self.stages:
+        for stage in stages:
             started = time.perf_counter()
             batch = stage(batch)
             self.stats.record(stage.name, time.perf_counter() - started)
         self.stats.record_batch(len(mentions))
-        return self._assemble(batch)
+        return self._assemble(batch, degraded=degraded)
 
-    def _assemble(self, batch: PipelineBatch) -> List[LinkingResult]:
+    def _assemble(
+        self, batch: PipelineBatch, degraded: bool = False
+    ) -> List[LinkingResult]:
         assert batch.retrievals is not None and batch.predictions is not None
         results: List[LinkingResult] = []
         for position, (mention, retrieval, predicted) in enumerate(
@@ -385,6 +435,7 @@ class EntityLinkingPipeline:
                     retrieval_scores=list(retrieval.scores),
                     predicted_entity_id=predicted.entity_id if predicted is not None else None,
                     rerank_scores=rerank_scores,
+                    degraded=degraded,
                 )
             )
         return results

@@ -44,6 +44,47 @@ from .pipeline import EntityLinkingPipeline, LinkingResult
 #: flushed anyway (milliseconds).
 DEFAULT_MAX_WAIT_MS = 10.0
 
+#: Heartbeat of the scheduler's idle wait (seconds).  The scheduler never
+#: blocks longer than this without re-checking ``_closing`` and sweeping
+#: expired deadlines, so a missed wakeup (e.g. a notify lost to a frozen
+#: fault-injected replica) can strand it for at most one heartbeat.
+SCHEDULER_HEARTBEAT_SECONDS = 0.1
+
+
+class RejectedError(RuntimeError):
+    """Base of the "request refused without being processed" taxonomy.
+
+    Raised *through the returned future*, at classification time: a rejected
+    request never occupies a batch slot and never times out.  Callers that
+    only care about "was my request dropped on purpose" catch this base;
+    the subclasses say why:
+
+    * :class:`OverCapacityError` — shed by admission control (over the
+      pending watermark);
+    * :class:`DeadlineExpiredError` — the caller's deadline passed before
+      the request reached a batch;
+    * :class:`~repro.serving.cluster.BreakerOpenError` — every healthy
+      replica's circuit breaker is open.
+    """
+
+
+class OverCapacityError(RejectedError):
+    """A submit shed by admission control — the service is over its watermark.
+
+    Set on the returned future immediately at submit time: a shed request
+    never occupies a queue slot and never times out.
+    """
+
+
+class DeadlineExpiredError(RejectedError):
+    """The request's deadline passed before it reached a batch.
+
+    Deadline-expired requests are dropped *before* consuming a batch slot —
+    nobody is waiting for the answer, so the compute is not spent.  The
+    router treats this as non-retryable: requeueing a request that is
+    already too late only wastes another replica's time.
+    """
+
 
 def warm_up_index(index, worlds: Optional[Sequence[str]] = None) -> List[str]:
     """Materialise shards of a sharded index ahead of traffic.
@@ -73,11 +114,20 @@ def warm_up_index(index, worlds: Optional[Sequence[str]] = None) -> List[str]:
 
 @dataclass
 class _PendingRequest:
-    """One queued mention with its caller-facing future and submit time."""
+    """One queued mention with its caller-facing future and submit time.
+
+    ``deadline_at`` is an absolute ``time.perf_counter()`` instant; a request
+    still queued past it is failed with :class:`DeadlineExpiredError` instead
+    of occupying a batch slot.
+    """
 
     mention: Mention
     future: "Future[LinkingResult]"
     submitted_at: float
+    deadline_at: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_at is not None and now >= self.deadline_at
 
 
 class LinkingService:
@@ -117,6 +167,7 @@ class LinkingService:
 
         self._queue: Deque[_PendingRequest] = deque()
         self._inflight: List[_PendingRequest] = []
+        self._has_deadlines = False
         self._peak_pending = 0
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
@@ -203,21 +254,31 @@ class LinkingService:
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def submit(self, mention: Mention) -> "Future[LinkingResult]":
+    def submit(
+        self, mention: Mention, deadline_at: Optional[float] = None
+    ) -> "Future[LinkingResult]":
         """Enqueue one mention; returns a future resolving to its result.
 
         Non-blocking: the scheduler thread batches queued mentions and the
         future completes when its micro-batch has been linked.  Raises
         ``RuntimeError`` after :meth:`close`.
+
+        ``deadline_at`` (absolute ``time.perf_counter()`` seconds) bounds how
+        long the request may wait: if it is still queued past the deadline,
+        its future fails with :class:`DeadlineExpiredError` *before* the
+        request consumes a batch slot.
         """
         request = _PendingRequest(
-            mention=mention, future=Future(), submitted_at=time.perf_counter()
+            mention=mention, future=Future(), submitted_at=time.perf_counter(),
+            deadline_at=deadline_at,
         )
         with self._lock:
             if self._closing:
                 raise RuntimeError("LinkingService is closed")
             if self._worker is None:
                 raise RuntimeError("LinkingService is not started")
+            if deadline_at is not None:
+                self._has_deadlines = True
             self._queue.append(request)
             if len(self._queue) > self._peak_pending:
                 self._peak_pending = len(self._queue)
@@ -312,11 +373,19 @@ class LinkingService:
         max_wait = self.max_wait_ms / 1000.0
         while True:
             with self._lock:
-                # Sleep until there is work or a shutdown request.
+                # Sleep until there is work or a shutdown request.  The wait
+                # is bounded by a heartbeat: a lost wakeup (or a notify that
+                # raced a fault-injected freeze) stalls the scheduler for at
+                # most one heartbeat instead of forever, so drain/close and
+                # the cluster supervisor always make progress.
                 while not self._queue and not self._closing:
-                    self._work_ready.wait()
+                    self._work_ready.wait(timeout=SCHEDULER_HEARTBEAT_SECONDS)
                 if not self._queue and self._closing:
                     return
+                expired = self._sweep_expired_locked()
+                if not self._queue:
+                    self._fail_expired(expired)
+                    continue
                 # Work exists: hold out for a full batch until the oldest
                 # request hits the latency bound (skip the wait on shutdown —
                 # drain as fast as possible).
@@ -328,6 +397,7 @@ class LinkingService:
                     remaining = deadline - time.perf_counter()
                     if remaining <= 0 or not self._work_ready.wait(timeout=remaining):
                         break
+                expired.extend(self._sweep_expired_locked())
                 batch = [
                     self._queue.popleft()
                     for _ in range(min(self.max_batch_size, len(self._queue)))
@@ -335,11 +405,35 @@ class LinkingService:
                 # Track the in-flight batch so abort() can reach requests
                 # that have already left the queue.
                 self._inflight = batch
+            self._fail_expired(expired)
             try:
                 self._flush(batch)
             finally:
                 with self._lock:
                     self._inflight = []
+
+    def _sweep_expired_locked(self) -> List[_PendingRequest]:
+        # Caller holds self._lock.  Splits expired requests out of the queue;
+        # their futures are failed *outside* the lock (future callbacks run
+        # inline and must not re-enter the scheduler under its own lock).
+        if not self._has_deadlines or not self._queue:
+            return []
+        now = time.perf_counter()
+        if not any(request.expired(now) for request in self._queue):
+            return []
+        expired = [request for request in self._queue if request.expired(now)]
+        survivors = [request for request in self._queue if not request.expired(now)]
+        self._queue.clear()
+        self._queue.extend(survivors)
+        return expired
+
+    @staticmethod
+    def _fail_expired(expired: List[_PendingRequest]) -> None:
+        for request in expired:
+            LinkingService._settle(request.future, error=DeadlineExpiredError(
+                f"request {request.mention.mention_id} expired "
+                f"while queued (deadline passed before batching)"
+            ))
 
     def _flush(self, batch: List[_PendingRequest]) -> None:
         # Transition each future to RUNNING; a False return means the caller
@@ -348,11 +442,27 @@ class LinkingService:
         # An InvalidStateError means abort() already failed the future — the
         # request is dead, skip it.
         live: List[_PendingRequest] = []
+        now = time.perf_counter()
         for request in batch:
+            if request.expired(now):
+                # Last line of defence: the sweep runs at batch boundaries,
+                # but a request can expire between being popped and flushed
+                # (e.g. while a fault-injected freeze held the batch).  Drop
+                # it here so no pipeline compute is spent on it.
+                self._settle(request.future, error=DeadlineExpiredError(
+                    f"request {request.mention.mention_id} expired "
+                    f"before its batch was flushed"
+                ))
+                continue
             try:
                 if request.future.set_running_or_notify_cancel():
                     live.append(request)
-            except InvalidStateError:
+            except (InvalidStateError, RuntimeError):
+                # InvalidStateError when abort() already failed the future;
+                # set_running_or_notify_cancel raises a bare RuntimeError when
+                # a concurrent kill() settled it between queue-pop and flush.
+                # Either way the request is dead — skip it, don't let the
+                # scheduler thread die.
                 pass
         batch = live
         if not batch:

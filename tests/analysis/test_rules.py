@@ -662,3 +662,91 @@ class TestPytestMarkerDeclared:
             TESTS_PATH, self.RULE, declared=["chaos"],
         )
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+# bounded-wait
+# ----------------------------------------------------------------------
+class TestBoundedWait:
+    RULE = "bounded-wait"
+
+    BENCH_PATH = "src/repro/bench/ticker.py"
+
+    def test_unbounded_event_wait_flagged(self):
+        findings = lint(
+            """
+            def run(self):
+                self._work_ready.wait()
+            """,
+            SERVING_PATH, self.RULE,
+        )
+        assert [f.rule for f in findings] == [self.RULE]
+        assert findings[0].symbol == "self._work_ready.wait"
+        assert "timeout" in findings[0].message
+
+    def test_unbounded_join_and_result_flagged(self):
+        findings = lint(
+            """
+            def drain(thread, future):
+                thread.join()
+                return future.result()
+            """,
+            self.BENCH_PATH, self.RULE,
+        )
+        assert sorted(f.symbol for f in findings) == [
+            "future.result", "thread.join",
+        ]
+
+    def test_timeout_keyword_is_compliant(self):
+        findings = lint(
+            """
+            def run(self):
+                while not self._stop.wait(timeout=0.1):
+                    self.tick()
+            """,
+            SERVING_PATH, self.RULE,
+        )
+        assert findings == []
+
+    def test_positional_timeout_is_compliant(self):
+        findings = lint(
+            """
+            def drain(thread, future):
+                thread.join(5.0)
+                return future.result(30.0)
+            """,
+            self.BENCH_PATH, self.RULE,
+        )
+        assert findings == []
+
+    def test_non_blocking_names_ignored(self):
+        findings = lint(
+            """
+            def assemble(path, parts):
+                return path.join(parts.result)
+            """,
+            SERVING_PATH, self.RULE,
+        )
+        # path.join(parts) passes a positional arg; bare attribute access
+        # (no call) never fires.
+        assert findings == []
+
+    def test_out_of_scope_path_ignored(self):
+        findings = lint(
+            """
+            def run(event):
+                event.wait()
+            """,
+            SRC_PATH, self.RULE,  # training/, not serving/ or bench/
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            def run(self):
+                self._done.wait()  # repro: disable=bounded-wait
+            """,
+            SERVING_PATH, self.RULE,
+        )
+        assert findings == []

@@ -232,6 +232,7 @@ class TestClusterScenarioCatalogue:
                                                duration=2.0, rate=100.0)
         assert set(catalogue) == {
             "cluster_steady", "kill_replica", "slow_replica", "freeze_thaw",
+            "crash_loop_recovery", "brownout_overload",
         }
         assert catalogue["cluster_steady"].fault_plan is None
         kill = catalogue["kill_replica"].fault_plan
@@ -240,6 +241,21 @@ class TestClusterScenarioCatalogue:
         assert kill.events[0].at == pytest.approx(0.8)  # 40% into the run
         thaw = catalogue["freeze_thaw"].fault_plan
         assert [e.action for e in thaw.events] == ["freeze", "unfreeze"]
+        crash_loop = catalogue["crash_loop_recovery"]
+        assert crash_loop.supervised and not crash_loop.brownout
+        assert [e.action for e in crash_loop.fault_plan.events] == ["kill"] * 3
+        # Every kill targets the same slot and none schedules a restart:
+        # only the supervisor can bring the replica back.
+        assert {e.replica for e in crash_loop.fault_plan.events} == {3}
+        assert [e.at for e in crash_loop.fault_plan.events] == (
+            pytest.approx([0.5, 1.0, 1.5])
+        )
+        brownout = catalogue["brownout_overload"]
+        assert brownout.supervised and brownout.brownout
+        # Every replica drags so queue pressure builds on any hardware.
+        assert [e.action for e in brownout.fault_plan.events] == ["slow"] * 4
+        assert {e.replica for e in brownout.fault_plan.events} == {0, 1, 2, 3}
+        assert all(e.value > 0 for e in brownout.fault_plan.events)
         for scenario in catalogue.values():
             assert scenario.workload.seed == 13
             assert scenario.description
@@ -254,6 +270,9 @@ class TestClusterScenarioCatalogue:
         signatures = {
             scenario.workload.schedule().signature()
             for scenario in catalogue.values()
+            # brownout_overload deliberately runs 4x the baseline rate —
+            # the overload *is* its injury — so it has its own schedule.
+            if scenario.name != "brownout_overload"
         }
         assert len(signatures) == 1
 
