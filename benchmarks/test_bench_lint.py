@@ -47,6 +47,14 @@ def _payload(result):
             "paths": ["src", "tests", "benchmarks"],
             "baselined": len(result.baselined),
             "suppressed": result.suppressed,
+            # Interprocedural layer context (ungated: cache state makes
+            # the build time bimodal between cold and warm runs).
+            "callgraph_build_seconds": result.callgraph_seconds,
+            "callgraph_functions": result.functions,
+            "callgraph_edges": result.call_edges,
+            "summary_cache_hits": result.cache_hits,
+            "summary_cache_misses": result.cache_misses,
+            "summary_cache_hit_rate": result.cache_hit_rate,
         },
     }
 

@@ -22,20 +22,24 @@ from .baseline import (
     DEFAULT_BASELINE_NAME,
     TODO_JUSTIFICATION,
 )
+from .callgraph import CallGraph, CallResolver, SymbolTable
 from .core import (
     FileContext,
     Finding,
     LintConfig,
     LintResult,
+    ProjectRule,
     Rule,
     SYNTAX_ERROR_RULE,
     iter_python_files,
     lint_source,
+    lint_sources,
     register,
     registered_rules,
     run_lint,
 )
-from .reporters import render_json, render_text, summarize
+from .dataflow import ProjectContext, Summary
+from .reporters import render_json, render_rule_table, render_text, summarize
 
 # Importing the rules package registers every domain rule.
 from . import rules as _rules  # noqa: F401
@@ -45,18 +49,26 @@ __all__ = [
     "BaselineEntry",
     "DEFAULT_BASELINE_NAME",
     "TODO_JUSTIFICATION",
+    "CallGraph",
+    "CallResolver",
+    "SymbolTable",
     "FileContext",
     "Finding",
     "LintConfig",
     "LintResult",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "SYNTAX_ERROR_RULE",
+    "Summary",
     "iter_python_files",
     "lint_source",
+    "lint_sources",
     "register",
     "registered_rules",
     "run_lint",
     "render_json",
+    "render_rule_table",
     "render_text",
     "summarize",
 ]

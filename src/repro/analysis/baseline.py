@@ -119,13 +119,22 @@ class Baseline:
     # Matching
     # ------------------------------------------------------------------
     def partition(
-        self, findings: Sequence[Finding]
+        self,
+        findings: Sequence[Finding],
+        root: Union[str, Path, None] = None,
     ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
         """Split findings into (new, baselined) and report stale entries.
 
         Per fingerprint, the first ``entry.count`` findings are absorbed by
         the baseline; any surplus is new.  An entry matching fewer findings
         than its count is stale (partially or fully fixed code).
+
+        With ``root`` set, a finding that matches no entry by full
+        fingerprint falls back to ``(rule, symbol)`` matching against
+        entries whose recorded file no longer exists under ``root`` — so a
+        plain ``git mv`` does not turn every grandfathered finding in the
+        moved file into a gate failure (the symbol travels with the code;
+        only the path changed).
         """
         budget: Dict[Tuple[str, str, str], int] = {}
         for entry in self.entries:
@@ -141,6 +150,30 @@ class Baseline:
                 matched.append(finding)
             else:
                 new.append(finding)
+
+        if root is not None and new:
+            root = Path(root)
+            still_new: List[Finding] = []
+            for finding in new:
+                moved = None
+                if finding.symbol:
+                    for key, remaining in budget.items():
+                        rule, old_path, symbol = key
+                        if (
+                            remaining > 0
+                            and rule == finding.rule
+                            and symbol == finding.symbol
+                            and old_path != finding.path
+                            and not (root / old_path).exists()
+                        ):
+                            moved = key
+                            break
+                if moved is not None:
+                    budget[moved] -= 1
+                    matched.append(finding)
+                else:
+                    still_new.append(finding)
+            new = still_new
         stale: List[BaselineEntry] = []
         reported: set = set()
         for entry in self.entries:

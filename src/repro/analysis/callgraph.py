@@ -1,0 +1,486 @@
+"""Whole-project symbol table and call graph for interprocedural lint rules.
+
+The per-file rules in :mod:`repro.analysis.rules` can only see one function
+at a time, but every hard bug this repo shipped — the process-global grad
+flag, the lock-starved ``PipelineStats``, the unbounded scheduler ``wait()``
+— was a *cross-function* property.  This module builds the project-wide
+structures those properties are stated over:
+
+* :class:`ModuleSymbols` — one file's classes (with raw base names and
+  inferred ``self.<attr>`` types), functions, and import aliases.
+* :class:`SymbolTable` — all modules merged: class-hierarchy linearisation
+  (left-to-right BFS, which matches C3 on the diamond shapes this codebase
+  uses), a global function index, and a by-bare-name index for the
+  conservative dynamic-dispatch fallback.
+* :class:`CallResolver` — maps one :class:`~repro.analysis.dataflow.CallSite`
+  descriptor to candidate callee function ids:
+
+  - plain names resolve through local defs, then ``from x import y`` /
+    ``import x as y`` aliases (project modules only);
+  - ``self.method(...)`` resolves through the enclosing class's MRO;
+  - ``super().method(...)`` resolves through the MRO *after* the defining
+    class;
+  - ``self.attr.method(...)`` resolves through the attr's inferred type
+    (``self.attr = ClassName(...)`` in any method, or an ``__init__``
+    parameter annotation flowing into ``self.attr = param``);
+  - calling a class yields its ``__init__``; calling an instance-typed
+    attribute yields its ``__call__`` (or ``forward``);
+  - anything else falls back to **dynamic dispatch**: every known method
+    with that bare name, tagged ``kind="dynamic"`` so rules can decide how
+    much conservatism they want.
+
+* :class:`CallGraph` — resolved edges plus a reverse index, giving
+  :meth:`CallGraph.reverse_dependency_paths` (the file closure used by
+  ``run_lint.py --changed-only``).
+
+Function ids are ``"module:qualname"`` strings (``repro.serving.cluster:
+Router.submit``) — stable across line drift, unique across the project.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+#: Blocking primitive method names are *never* resolved to project methods —
+#: ``fut.result()`` means the concurrent.futures primitive, even though a
+#: project class could in principle define a ``result`` method.  Kept in one
+#: place so dataflow extraction and resolution agree.
+PRIMITIVE_NAMES = frozenset({"wait", "join", "result", "recv"})
+
+#: Calls resolved through the dynamic-dispatch fallback are capped at this
+#: many candidates; beyond it the name is considered too common to carry
+#: signal and the call is treated as external (documented conservatism cap).
+DYNAMIC_CANDIDATE_CAP = 12
+
+
+def path_to_module(path: str) -> str:
+    """Dotted module name for a repo(-relative or seeded absolute) path.
+
+    ``src/repro/serving/cluster.py`` → ``repro.serving.cluster``; a seeded
+    copy like ``/tmp/x/src/repro/serving/cluster.py`` resolves identically
+    (anything before the last ``src/`` segment is stripped), so fixture
+    trees analyse exactly like the checkout.
+    """
+    norm = path.replace("\\", "/")
+    marker = "src/"
+    idx = norm.rfind("/" + marker)
+    if idx >= 0:
+        norm = norm[idx + 1 + len(marker):]
+    elif norm.startswith(marker):
+        norm = norm[len(marker):]
+    if norm.endswith(".py"):
+        norm = norm[: -len(".py")]
+    if norm.endswith("/__init__"):
+        norm = norm[: -len("/__init__")]
+    return norm.strip("/").replace("/", ".")
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method definition: where it lives and how it is scoped."""
+
+    module: str
+    qualname: str
+    path: str
+    line: int
+    class_name: str = ""  # innermost enclosing class ("" for module level)
+    decorators: Tuple[str, ...] = ()
+
+    @property
+    def fid(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+    @property
+    def is_public(self) -> bool:
+        return not any(
+            part.startswith("_") for part in self.qualname.split(".")
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: raw base names, methods, inferred attr types."""
+
+    module: str
+    name: str
+    path: str
+    line: int
+    bases: Tuple[str, ...] = ()          # raw dotted names as written
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+    attr_types: Dict[str, str] = field(default_factory=dict)  # attr -> raw class name
+    lock_attrs: Dict[str, str] = field(default_factory=dict)  # attr -> canonical attr
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.name}"
+
+
+@dataclass
+class ModuleSymbols:
+    """Symbol table for one file, JSON-serialisable for the summary cache."""
+
+    module: str
+    path: str
+    imports: Dict[str, str] = field(default_factory=dict)  # local -> full target
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "imports": dict(self.imports),
+            "classes": {
+                name: {
+                    "line": info.line,
+                    "bases": list(info.bases),
+                    "methods": dict(info.methods),
+                    "attr_types": dict(info.attr_types),
+                    "lock_attrs": dict(info.lock_attrs),
+                }
+                for name, info in self.classes.items()
+            },
+            "functions": {
+                qualname: {
+                    "line": info.line,
+                    "class": info.class_name,
+                    "decorators": list(info.decorators),
+                }
+                for qualname, info in self.functions.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ModuleSymbols":
+        module = str(payload["module"])
+        path = str(payload["path"])
+        symbols = cls(module=module, path=path, imports=dict(payload["imports"]))
+        for name, row in dict(payload["classes"]).items():
+            symbols.classes[name] = ClassInfo(
+                module=module, name=name, path=path, line=int(row["line"]),
+                bases=tuple(row["bases"]), methods=dict(row["methods"]),
+                attr_types=dict(row["attr_types"]),
+                lock_attrs=dict(row["lock_attrs"]),
+            )
+        for qualname, row in dict(payload["functions"]).items():
+            symbols.functions[qualname] = FunctionInfo(
+                module=module, qualname=qualname, path=path,
+                line=int(row["line"]), class_name=str(row["class"]),
+                decorators=tuple(row["decorators"]),
+            )
+        return symbols
+
+
+class SymbolTable:
+    """Every module's symbols merged, with hierarchy-aware lookups."""
+
+    def __init__(self, modules: Iterable[ModuleSymbols]) -> None:
+        self.modules: Dict[str, ModuleSymbols] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.by_name: Dict[str, List[str]] = {}
+        self.classes: Dict[str, ClassInfo] = {}        # "module:Class" -> info
+        self.class_by_name: Dict[str, List[ClassInfo]] = {}
+        for symbols in modules:
+            self.modules[symbols.module] = symbols
+            for info in symbols.functions.values():
+                self.functions[info.fid] = info
+                self.by_name.setdefault(info.name, []).append(info.fid)
+            for cls in symbols.classes.values():
+                self.classes[cls.key] = cls
+                self.class_by_name.setdefault(cls.name, []).append(cls)
+        self._mro_cache: Dict[str, Tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Class hierarchy
+    # ------------------------------------------------------------------
+    def resolve_class(self, raw: str, module: str) -> Optional[ClassInfo]:
+        """Resolve a raw (possibly dotted / aliased) class name from ``module``."""
+        symbols = self.modules.get(module)
+        leaf = raw.rsplit(".", 1)[-1]
+        if symbols is not None:
+            if raw in symbols.classes:
+                return symbols.classes[raw]
+            target = symbols.imports.get(raw.split(".", 1)[0])
+            if target is not None:
+                # "alias.Class" through `import pkg.mod as alias`, or a
+                # direct `from pkg.mod import Class [as alias]`.
+                full = target if "." not in raw else f"{target}.{raw.split('.', 1)[1]}"
+                owner, _, name = full.rpartition(".")
+                owned = self.modules.get(owner)
+                if owned is not None and name in owned.classes:
+                    return owned.classes[name]
+                # Re-exported through a package __init__: fall through to
+                # the global by-name lookup below.
+        candidates = self.class_by_name.get(leaf, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        for candidate in candidates:
+            if candidate.module == module:
+                return candidate
+        return candidates[0] if candidates else None
+
+    def linearize(self, cls: ClassInfo) -> Tuple[str, ...]:
+        """Left-to-right BFS linearisation of ``cls``'s hierarchy.
+
+        Matches C3 for the single-inheritance chains and classic diamonds in
+        this codebase; the point is a deterministic method-resolution order,
+        not full C3 fidelity.
+        """
+        cached = self._mro_cache.get(cls.key)
+        if cached is not None:
+            return cached
+        order: List[str] = []
+        seen: Set[str] = set()
+        queue = deque([cls])
+        while queue:
+            current = queue.popleft()
+            if current.key in seen:
+                continue
+            seen.add(current.key)
+            order.append(current.key)
+            for base in current.bases:
+                resolved = self.resolve_class(base, current.module)
+                if resolved is not None and resolved.key not in seen:
+                    queue.append(resolved)
+        result = tuple(order)
+        self._mro_cache[cls.key] = result
+        return result
+
+    def lookup_method(
+        self, cls: ClassInfo, name: str, skip_owner: bool = False
+    ) -> Optional[FunctionInfo]:
+        """First definition of ``name`` along the MRO (after ``cls`` when
+        ``skip_owner`` — the ``super()`` path)."""
+        order = self.linearize(cls)
+        if skip_owner:
+            order = order[1:]
+        for key in order:
+            owner = self.classes[key]
+            qualname = owner.methods.get(name)
+            if qualname is not None:
+                info = self.modules[owner.module].functions.get(qualname)
+                if info is not None:
+                    return info
+        return None
+
+    def subclasses_of(self, class_name: str) -> Set[str]:
+        """Names of all project classes transitively deriving from
+        ``class_name`` (matched by bare name, hierarchy-resolved)."""
+        out: Set[str] = set()
+        for cls in self.classes.values():
+            for key in self.linearize(cls):
+                if self.classes[key].name == class_name and cls.name != class_name:
+                    out.add(cls.name)
+                    break
+        return out
+
+    def attr_type(self, cls: ClassInfo, attr: str) -> Optional[ClassInfo]:
+        """Inferred type of ``self.<attr>`` for ``cls``, searching the MRO."""
+        for key in self.linearize(cls):
+            owner = self.classes[key]
+            raw = owner.attr_types.get(attr)
+            if raw is not None:
+                return self.resolve_class(raw, owner.module)
+        return None
+
+
+class CallResolver:
+    """Resolve call descriptors against a :class:`SymbolTable`."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+
+    def resolve(
+        self,
+        kind: str,
+        name: str,
+        receiver: str,
+        caller: FunctionInfo,
+    ) -> List[Tuple[str, str]]:
+        """Candidate ``(fid, edge_kind)`` pairs for one call site.
+
+        ``edge_kind`` is one of ``direct`` / ``method`` / ``super`` /
+        ``attr`` / ``dynamic``; an empty list means the call leaves the
+        project (stdlib, numpy, an unresolvable callable value).
+        """
+        if name in PRIMITIVE_NAMES:
+            return []  # blocking primitives are effects, never project calls
+        table = self.table
+        symbols = table.modules.get(caller.module)
+        cls = self._enclosing_class(caller)
+
+        if kind == "super":
+            if cls is not None:
+                found = table.lookup_method(cls, name, skip_owner=True)
+                if found is not None:
+                    return [(found.fid, "super")]
+            return self._dynamic(name, caller)
+
+        if kind == "self":
+            if cls is not None:
+                found = table.lookup_method(cls, name)
+                if found is not None:
+                    return [(found.fid, "method")]
+                # `self.attr(...)` calling a stored instance or callable.
+                target = table.attr_type(cls, name)
+                if target is not None:
+                    return self._instance_call(target)
+            return self._dynamic(name, caller)
+
+        if kind == "name":
+            if symbols is not None:
+                # Sibling definition in the same scope, innermost first.
+                prefix = caller.qualname.rsplit(".", 1)[0] if "." in caller.qualname else ""
+                for qualname in (f"{prefix}.{name}" if prefix else name, name):
+                    info = symbols.functions.get(qualname)
+                    if info is not None:
+                        return [(info.fid, "direct")]
+                if name in symbols.classes:
+                    return self._constructor(symbols.classes[name])
+                target = symbols.imports.get(name)
+                if target is not None:
+                    return self._imported(target)
+            return []  # unknown plain name: builtin or external
+
+        if kind == "attr":
+            # receiver is "self.<attr>" (typed attribute) or a module alias.
+            if receiver.startswith("self.") and cls is not None:
+                target = table.attr_type(cls, receiver[len("self."):])
+                if target is not None:
+                    found = table.lookup_method(target, name)
+                    if found is not None:
+                        return [(found.fid, "attr")]
+                return self._dynamic(name, caller)
+            if symbols is not None and receiver in symbols.imports:
+                target_module = symbols.imports[receiver]
+                owned = table.modules.get(target_module)
+                if owned is not None:
+                    if name in owned.functions:
+                        return [(owned.functions[name].fid, "direct")]
+                    if name in owned.classes:
+                        return self._constructor(owned.classes[name])
+                return []  # external module (numpy, threading, ...)
+            return self._dynamic(name, caller)
+
+        return self._dynamic(name, caller)
+
+    # ------------------------------------------------------------------
+    def _enclosing_class(self, caller: FunctionInfo) -> Optional[ClassInfo]:
+        if not caller.class_name:
+            return None
+        symbols = self.table.modules.get(caller.module)
+        if symbols is None:
+            return None
+        return symbols.classes.get(caller.class_name)
+
+    def _constructor(self, cls: ClassInfo) -> List[Tuple[str, str]]:
+        found = self.table.lookup_method(cls, "__init__")
+        return [(found.fid, "direct")] if found is not None else []
+
+    def _instance_call(self, cls: ClassInfo) -> List[Tuple[str, str]]:
+        for name in ("__call__", "forward"):
+            found = self.table.lookup_method(cls, name)
+            if found is not None:
+                return [(found.fid, "attr")]
+        return []
+
+    def _imported(self, target: str) -> List[Tuple[str, str]]:
+        owner, _, name = target.rpartition(".")
+        symbols = self.table.modules.get(owner)
+        if symbols is not None:
+            if name in symbols.functions:
+                return [(symbols.functions[name].fid, "direct")]
+            if name in symbols.classes:
+                return self._constructor(symbols.classes[name])
+        # Re-export through a package __init__ (from repro.nn import no_grad):
+        # fall back to the unique global definition if there is one.
+        fids = self.table.by_name.get(name, [])
+        if len(fids) == 1:
+            return [(fids[0], "direct")]
+        return []
+
+    def _dynamic(self, name: str, caller: FunctionInfo) -> List[Tuple[str, str]]:
+        """Conservative fallback: every known def with this bare name.
+
+        Over-approximates dynamic dispatch the way a race detector would —
+        better a tagged ``dynamic`` edge a rule can weigh than a silently
+        missing one.  Dunders and too-common names (over
+        :data:`DYNAMIC_CANDIDATE_CAP` candidates) resolve to nothing.
+        """
+        if name.startswith("__") and name.endswith("__"):
+            return []
+        fids = [fid for fid in self.table.by_name.get(name, []) if fid != caller.fid]
+        if not fids or len(fids) > DYNAMIC_CANDIDATE_CAP:
+            return []
+        return [(fid, "dynamic") for fid in sorted(fids)]
+
+
+@dataclass
+class ResolvedCall:
+    """One call site with its resolved candidates (graph edge bundle)."""
+
+    caller: str
+    line: int
+    name: str
+    callees: Tuple[Tuple[str, str], ...]  # (fid, edge_kind)
+    locks: Tuple[str, ...] = ()
+    no_grad: bool = False
+    caught: Tuple[str, ...] = ()
+
+
+class CallGraph:
+    """Resolved project call graph with a reverse index."""
+
+    def __init__(self) -> None:
+        self.sites: Dict[str, List[ResolvedCall]] = {}
+        self.reverse: Dict[str, Set[str]] = {}
+
+    def add(self, call: ResolvedCall) -> None:
+        self.sites.setdefault(call.caller, []).append(call)
+        for fid, _kind in call.callees:
+            self.reverse.setdefault(fid, set()).add(call.caller)
+
+    def calls_from(self, fid: str) -> List[ResolvedCall]:
+        return self.sites.get(fid, [])
+
+    def callers_of(self, fid: str) -> Set[str]:
+        return self.reverse.get(fid, set())
+
+    @property
+    def edge_count(self) -> int:
+        return sum(
+            len(call.callees) for calls in self.sites.values() for call in calls
+        )
+
+    def reverse_dependency_paths(
+        self, table: SymbolTable, paths: Iterable[str]
+    ) -> Set[str]:
+        """Files whose functions transitively call into ``paths``.
+
+        The closure ``run_lint.py --changed-only`` lints: the changed files
+        plus every file that could see a different interprocedural verdict
+        because a callee's summary changed.
+        """
+        wanted = {p.replace("\\", "/") for p in paths}
+        frontier = deque(
+            info.fid for info in table.functions.values() if info.path in wanted
+        )
+        seen: Set[str] = set(frontier)
+        while frontier:
+            fid = frontier.popleft()
+            for caller in self.callers_of(fid):
+                if caller not in seen:
+                    seen.add(caller)
+                    frontier.append(caller)
+        out = set(wanted)
+        for fid in seen:
+            info = table.functions.get(fid)
+            if info is not None:
+                out.add(info.path)
+        return out

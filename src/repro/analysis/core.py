@@ -55,8 +55,11 @@ from typing import (
     Type,
 )
 
-#: Inline suppression syntax: ``# repro: disable=rule-a,rule-b`` (same line).
-SUPPRESSION_RE = re.compile(r"repro:\s*disable=([A-Za-z0-9_,\- ]+)")
+#: Inline suppression syntax: a comment of the form
+#: ``code  # repro: disable=rule-a,rule-b`` (same line).  Anchored to the
+#: comment start so prose *mentioning* the syntax — like this very
+#: paragraph — does not register a suppression.
+SUPPRESSION_RE = re.compile(r"\A#\s*repro:\s*disable=([A-Za-z0-9_,\- ]+)")
 
 #: Pseudo-rule name attached to findings for files that fail to parse.
 SYNTAX_ERROR_RULE = "syntax-error"
@@ -77,17 +80,29 @@ class Finding:
     message: str
     column: int = 0
     symbol: str = ""
+    #: Interprocedural witness: one "path:line: qualname — why" string per
+    #: hop, caller first, blocking/raising/compute site last.  A tuple so
+    #: the frozen/ordered dataclass stays hashable and sortable.
+    chain: Tuple[str, ...] = ()
 
     def describe(self) -> str:
-        """The canonical ``path:line: rule: message`` diagnostic line."""
-        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+        """The canonical ``path:line: rule: message`` diagnostic line.
+
+        Interprocedural findings append their call chain, one indented
+        ``via`` line per hop, so the gate output reads like a sanitizer
+        report instead of a bare file:line.
+        """
+        head = f"{self.path}:{self.line}: {self.rule}: {self.message}"
+        if not self.chain:
+            return head
+        return head + "".join(f"\n    via {step}" for step in self.chain)
 
     def fingerprint(self) -> Tuple[str, str, str]:
         """Stable identity for baseline matching: (rule, path, symbol)."""
         return (self.rule, self.path, self.symbol or self.message)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "column": self.column,
@@ -95,6 +110,9 @@ class Finding:
             "symbol": self.symbol,
             "message": self.message,
         }
+        if self.chain:
+            payload["chain"] = list(self.chain)
+        return payload
 
 
 def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
@@ -245,6 +263,39 @@ class Rule:
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
 
+    # -- interprocedural hooks (PR 9) ----------------------------------
+    def bind_project(self, project: object) -> None:
+        """Receive the whole-project :class:`~repro.analysis.dataflow.
+        ProjectContext` before any checks run.  Per-file rules may consult
+        it from ``check``; pure project rules use ``check_project``."""
+        self.project = project
+
+    def check_project(self, project: object) -> Iterator[Finding]:
+        """Whole-project pass, run once after every file's ``check``.
+
+        The base implementation yields nothing; interprocedural rules (and
+        per-file rules that also want a global pass) override it.
+        """
+        return iter(())
+
+    def applies_to_path(self, path: str) -> bool:
+        """Path-only variant of :meth:`applies_to` for project findings."""
+        return any(
+            path.startswith(prefix) or f"/{prefix}" in path
+            for prefix in self.paths()
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for rules that only make sense over the whole project.
+
+    Subclasses implement :meth:`check_project`; the per-file ``check`` is a
+    no-op so the engine's file loop skips them cheaply.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
 
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
@@ -264,6 +315,26 @@ def registered_rules() -> Dict[str, Type[Rule]]:
     return dict(_REGISTRY)
 
 
+@register
+class UnusedSuppressionRule(Rule):
+    """Flag ``# repro: disable=<rule>`` comments that suppress nothing.
+
+    Stale suppressions rot silently: the code they excused gets fixed or
+    deleted and the comment keeps granting a blanket waiver to whatever
+    lands on that line next.  The engine tracks which suppressions actually
+    absorbed a finding during the run and emits one finding per dead entry;
+    this class only carries the name/description — the detection lives in
+    :func:`run_lint` because it needs the whole run's suppression usage.
+    """
+
+    name = "unused-suppression"
+    description = "inline `repro: disable` comment that suppresses nothing"
+    default_paths = ("src/repro/", "src/", "tests/", "benchmarks/", "scripts/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+
 @dataclass
 class LintConfig:
     """Which rules run, with what options, against which project root.
@@ -278,6 +349,9 @@ class LintConfig:
     disabled: Sequence[str] = ()
     rule_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     project_root: Optional[Path] = None
+    #: Where per-file interprocedural summaries are cached between runs
+    #: (content-hash keyed).  ``None`` disables the cache.
+    cache_path: Optional[Path] = None
 
     def build_rules(self) -> List[Rule]:
         registry = registered_rules()
@@ -314,6 +388,12 @@ class LintResult:
     files: int = 0
     elapsed_seconds: float = 0.0
     suppressed: int = 0
+    # Interprocedural pass metrics (PR 9) — surfaced into BENCH_lint.json.
+    callgraph_seconds: float = 0.0
+    functions: int = 0
+    call_edges: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def ok(self) -> bool:
@@ -324,6 +404,18 @@ class LintResult:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.files / self.elapsed_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """New-finding counts per rule, for the failure summary table."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
 
 
 def iter_python_files(paths: Iterable[object]) -> List[Path]:
@@ -352,6 +444,50 @@ def _relative_posix(path: Path, root: Optional[Path]) -> str:
     return path.as_posix()
 
 
+def lint_sources(
+    sources: Mapping[str, str],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint a set of in-memory ``path -> source`` blobs as one project.
+
+    The multi-file workhorse of the interprocedural test-suite: fixture
+    modules are analysed together, so cross-module call chains (a serving
+    entry point reaching nn compute two files away) resolve exactly as they
+    would on disk.  Syntax errors propagate — a fixture that does not parse
+    is a broken test, not a lint finding.
+    """
+    from .dataflow import ProjectContext  # local: avoids a core<->rules cycle
+
+    config = config or LintConfig()
+    if rules is None:
+        rules = config.build_rules()
+    ctxs: Dict[str, FileContext] = {}
+    for path, source in sources.items():
+        ctx = FileContext(source, path, project_root=config.project_root)
+        ctxs[ctx.path] = ctx
+    project = ProjectContext.build(
+        [(ctx.path, ctx.source, ctx.tree) for ctx in ctxs.values()]
+    )
+    for rule in rules:
+        rule.bind_project(project)
+    findings: List[Finding] = []
+    for ctx in ctxs.values():
+        for rule in rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if not ctx.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+    for rule in rules:
+        for finding in rule.check_project(project):
+            ctx = ctxs.get(finding.path)
+            if ctx is not None and ctx.suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
 def lint_source(
     source: str,
     path: str,
@@ -362,45 +498,62 @@ def lint_source(
 
     The workhorse of the rule test-suite: fixture snippets are linted
     against synthetic repo paths so each rule's path scoping applies
-    exactly as it would on disk.  Inline suppressions are honoured.
+    exactly as it would on disk.  Inline suppressions are honoured, and the
+    blob gets a single-module project context so interprocedural rules see
+    chains that stay within the file.
     """
-    config = config or LintConfig()
-    if rules is None:
-        rules = config.build_rules()
-    ctx = FileContext(source, path, project_root=config.project_root)
-    findings: List[Finding] = []
-    for rule in rules:
-        if not rule.applies_to(ctx):
-            continue
-        for finding in rule.check(ctx):
-            if not ctx.suppressed(finding.rule, finding.line):
-                findings.append(finding)
-    return sorted(findings)
+    return lint_sources({path: source}, config=config, rules=rules)
 
 
 def run_lint(
     paths: Sequence[object],
     config: Optional[LintConfig] = None,
     baseline: Optional[object] = None,
+    restrict_paths: Optional[Iterable[str]] = None,
 ) -> LintResult:
     """Lint every python file under ``paths``; partition against ``baseline``.
 
     Files that fail to parse produce a single :data:`SYNTAX_ERROR_RULE`
     finding instead of aborting the run.  Timing covers the whole pass
-    (file IO + parse + every rule) so the ``BENCH_lint.json`` numbers
-    reflect what CI actually pays.
+    (file IO + parse + project call-graph build + every rule) so the
+    ``BENCH_lint.json`` numbers reflect what CI actually pays.
+
+    ``restrict_paths`` (repo-relative posix paths) is the ``--changed-only``
+    contract: *every* file is still read into the interprocedural project —
+    summaries must stay whole-program-correct — then the restricted set is
+    expanded to its reverse-dependency closure (callers of changed code can
+    see a different interprocedural verdict), and only that closure gets
+    per-file rules, findings, and stale-entry reporting.  Unchanged files
+    hit the summary cache, so the skipped work is the parse plus every
+    file rule.
     """
+    from .dataflow import ProjectContext  # local: avoids a core<->rules cycle
+
     config = config or LintConfig()
     root = config.project_root if config.project_root is not None else Path.cwd()
     rules = config.build_rules()
     files = iter_python_files(paths)
+    restrict: Optional[Set[str]] = (
+        {Path(p).as_posix() for p in restrict_paths}
+        if restrict_paths is not None
+        else None
+    )
 
     started = time.perf_counter()
     raw: List[Finding] = []
     suppressed = 0
-    for file_path in files:
-        rel = _relative_posix(file_path, root)
-        source = file_path.read_text(encoding="utf-8")
+    ctxs: Dict[str, FileContext] = {}
+    sources: List[Tuple[str, str]] = []
+    #: (path, line) suppression entries that absorbed at least one finding.
+    used_suppressions: Set[Tuple[str, int]] = set()
+
+    def absorb(ctx: FileContext, finding: Finding) -> bool:
+        if ctx.suppressed(finding.rule, finding.line):
+            used_suppressions.add((ctx.path, finding.line))
+            return True
+        return False
+
+    def make_ctx(rel: str, source: str) -> Optional[FileContext]:
         try:
             ctx = FileContext(source, rel, project_root=root)
         except SyntaxError as error:
@@ -408,23 +561,89 @@ def run_lint(
                 path=rel, line=error.lineno or 1, rule=SYNTAX_ERROR_RULE,
                 message=f"file does not parse: {error.msg}",
             ))
-            continue
+            return None
+        ctxs[rel] = ctx
+        return ctx
+
+    for file_path in files:
+        rel = _relative_posix(file_path, root)
+        sources.append((rel, file_path.read_text(encoding="utf-8")))
+
+    if restrict is None:
+        # Full run: parse once, share the tree with the project build.
+        project_files: List[Tuple[str, str, Optional[ast.AST]]] = []
+        for rel, source in sources:
+            ctx = make_ctx(rel, source)
+            if ctx is not None:
+                project_files.append((rel, source, ctx.tree))
+        project = ProjectContext.build(project_files, cache_path=config.cache_path)
+    else:
+        # Changed-only run: build the project first (cache makes unchanged
+        # files parse-free), expand the restriction to the reverse-
+        # dependency closure, then parse just the closure.
+        project = ProjectContext.build(
+            [(rel, source, None) for rel, source in sources],
+            cache_path=config.cache_path,
+        )
+        restrict = project.graph.reverse_dependency_paths(project.table, restrict)
+        for rel, source in sources:
+            if rel in restrict:
+                make_ctx(rel, source)
+    callgraph_seconds = project.build_seconds
+    for rule in rules:
+        rule.bind_project(project)
+
+    for ctx in ctxs.values():
         for rule in rules:
             if not rule.applies_to(ctx):
                 continue
             for finding in rule.check(ctx):
-                if ctx.suppressed(finding.rule, finding.line):
+                if absorb(ctx, finding):
                     suppressed += 1
                 else:
                     raw.append(finding)
+
+    for rule in rules:
+        for finding in rule.check_project(project):
+            if restrict is not None and finding.path not in restrict:
+                continue
+            ctx = ctxs.get(finding.path)
+            if ctx is not None and absorb(ctx, finding):
+                suppressed += 1
+            else:
+                raw.append(finding)
+
+    if any(isinstance(rule, UnusedSuppressionRule) for rule in rules):
+        for ctx in ctxs.values():
+            for line, names in sorted(ctx.suppressions.items()):
+                if (ctx.path, line) in used_suppressions:
+                    continue
+                listed = ",".join(sorted(names))
+                raw.append(Finding(
+                    path=ctx.path, line=line, rule=UnusedSuppressionRule.name,
+                    message=(
+                        f"suppression `repro: disable={listed}` never fires; "
+                        "remove the stale comment"
+                    ),
+                    symbol=f"disable={listed}",
+                ))
     elapsed = time.perf_counter() - started
 
     raw.sort()
     if baseline is not None:
-        new, matched, stale = baseline.partition(raw)
+        new, matched, stale = baseline.partition(raw, root=root)
+        if restrict is not None:
+            # A restricted run cannot prove an entry stale — the finding may
+            # live in a file that simply was not linted this time.
+            stale = [entry for entry in stale if getattr(entry, "path", None) in restrict]
     else:
         new, matched, stale = raw, [], []
     return LintResult(
         findings=list(new), baselined=list(matched), stale=list(stale),
-        files=len(files), elapsed_seconds=elapsed, suppressed=suppressed,
+        files=len(ctxs) if restrict is not None else len(files),
+        elapsed_seconds=elapsed, suppressed=suppressed,
+        callgraph_seconds=callgraph_seconds,
+        functions=len(project.table.functions),
+        call_edges=project.graph.edge_count,
+        cache_hits=project.cache_hits, cache_misses=project.cache_misses,
     )

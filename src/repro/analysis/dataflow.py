@@ -1,0 +1,913 @@
+"""Summary-based dataflow over the project call graph.
+
+Each function gets an **effect summary** — does it block without a timeout,
+which locks does it acquire, which exceptions can it raise, does it reach
+gradient-enabled nn compute or an unrestored ``train()`` toggle — extracted
+intraprocedurally in one AST walk and then propagated to fixpoint over the
+:mod:`~repro.analysis.callgraph` edges.  Rules ask questions like "is a
+blocking call reachable from here while a lock is held" and get back a full
+caller→…→site witness chain, the way a sanitizer reports a race.
+
+Extraction is flow-*insensitive* except for three pieces of context carried
+down the walk, which are exactly the three masks the rules need:
+
+* the set of class lock tokens held (``with self._lock:`` blocks, with
+  ``Condition(self._lock)`` aliases canonicalised to the underlying lock);
+* whether the site sits under ``with no_grad():`` (gradient masking);
+* which exception names the enclosing ``try`` blocks catch (raise masking;
+  a handler that re-raises bare does not mask).
+
+Summaries are cached per file keyed by a content hash (the PR 2 snapshot
+idiom: versioned JSON manifest, stale entries silently rebuilt), so
+incremental lint runs only re-extract files whose text changed; the
+propagation pass itself is cheap and always runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .callgraph import (
+    CallGraph,
+    CallResolver,
+    ClassInfo,
+    FunctionInfo,
+    ModuleSymbols,
+    PRIMITIVE_NAMES,
+    ResolvedCall,
+    SymbolTable,
+    path_to_module,
+)
+
+#: Bump when extraction changes shape — stale cache entries rebuild silently.
+ANALYSIS_VERSION = 1
+
+#: Default cache file name, resolved against the project root.
+DEFAULT_CACHE_NAME = ".repro_lint_cache.json"
+
+#: ``threading`` factories whose product counts as a lock token.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+#: Method names on nn modules that constitute gradient-enabled compute when
+#: reached outside a ``no_grad`` mask.
+NN_COMPUTE_NAMES = frozenset({
+    "forward", "forward_step", "forward_cross", "__call__", "backward",
+})
+
+#: Module prefix owning nn compute (matched against function ids).
+NN_MODULE_PREFIX = "repro.nn"
+
+
+# ----------------------------------------------------------------------
+# Per-function facts (intraprocedural, serialisable)
+# ----------------------------------------------------------------------
+@dataclass
+class RawCall:
+    """One unresolved call site with its context masks."""
+
+    kind: str          # "name" | "self" | "super" | "attr"
+    name: str
+    recv: str
+    line: int
+    locks: Tuple[str, ...] = ()
+    no_grad: bool = False
+    caught: Tuple[str, ...] = ()
+
+
+@dataclass
+class FunctionFacts:
+    """Effect-relevant events of one function body (own scope only)."""
+
+    fid: str
+    calls: List[RawCall] = field(default_factory=list)
+    #: Unbounded blocking primitive sites: (name, receiver, line, locks held).
+    blocking: List[Tuple[str, str, int, Tuple[str, ...]]] = field(default_factory=list)
+    #: Lock acquisitions: (token, line, locks already held).
+    acquires: List[Tuple[str, int, Tuple[str, ...]]] = field(default_factory=list)
+    #: Raise sites: (exception name, line, enclosing caught names).
+    raises: List[Tuple[str, int, Tuple[str, ...]]] = field(default_factory=list)
+    #: Unrestored ``x.train(...)`` mode entries: (receiver, line).
+    toggles: List[Tuple[str, int]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "calls": [
+                [c.kind, c.name, c.recv, c.line, list(c.locks), c.no_grad,
+                 list(c.caught)]
+                for c in self.calls
+            ],
+            "blocking": [[n, r, ln, list(lk)] for n, r, ln, lk in self.blocking],
+            "acquires": [[t, ln, list(h)] for t, ln, h in self.acquires],
+            "raises": [[n, ln, list(c)] for n, ln, c in self.raises],
+            "toggles": [[r, ln] for r, ln in self.toggles],
+        }
+
+    @classmethod
+    def from_dict(cls, fid: str, payload: Mapping[str, object]) -> "FunctionFacts":
+        facts = cls(fid=fid)
+        for kind, name, recv, line, locks, no_grad, caught in payload["calls"]:
+            facts.calls.append(RawCall(
+                kind=kind, name=name, recv=recv, line=int(line),
+                locks=tuple(locks), no_grad=bool(no_grad), caught=tuple(caught),
+            ))
+        facts.blocking = [
+            (n, r, int(ln), tuple(lk)) for n, r, ln, lk in payload["blocking"]
+        ]
+        facts.acquires = [(t, int(ln), tuple(h)) for t, ln, h in payload["acquires"]]
+        facts.raises = [(n, int(ln), tuple(c)) for n, ln, c in payload["raises"]]
+        facts.toggles = [(r, int(ln)) for r, ln in payload["toggles"]]
+        return facts
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def _expr_name(expr: ast.AST) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Call):
+        return _expr_name(expr.func)
+    return ""
+
+
+def _dotted(expr: ast.AST) -> str:
+    """Best-effort dotted rendering of a Name/Attribute chain."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_lock_factory_call(value: ast.AST) -> Optional[str]:
+    """``threading.Lock()``-style: returns the factory name, else None."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = _expr_name(value.func)
+    return name if name in _LOCK_FACTORIES | {"Condition"} else None
+
+
+def _toggle_kind(call: ast.Call) -> Optional[str]:
+    """Classify ``.train(...)`` / ``.eval()`` — mirrors the per-file
+    ``probe-mode-discipline`` rule so both layers agree on what a mode
+    toggle is (trainer entry points sharing the name are ignored)."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "eval":
+        return "restore" if not call.args and not call.keywords else None
+    if func.attr != "train":
+        return None
+    if call.keywords or len(call.args) > 1:
+        return None
+    if not call.args:
+        return "entry"
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, bool):
+        return "entry" if arg.value else "restore"
+    if isinstance(arg, (ast.Name, ast.Attribute, ast.UnaryOp)):
+        return "snapshot"
+    return None
+
+
+class _ScopeWalker:
+    """One function body walk carrying (locks, no_grad, caught) context."""
+
+    def __init__(
+        self,
+        facts: FunctionFacts,
+        lock_attrs: Mapping[str, str],
+        module_locks: Mapping[str, str],
+    ) -> None:
+        self.facts = facts
+        self.lock_attrs = lock_attrs        # self attr -> token
+        self.module_locks = module_locks    # module-level name -> token
+        self.toggle_events: List[Tuple[str, str, int]] = []  # (kind, recv, line)
+        self.finally_lines: Set[int] = set()
+
+    # -- helpers -------------------------------------------------------
+    def _lock_token(self, expr: ast.AST) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return self.lock_attrs.get(expr.attr)
+        if isinstance(expr, ast.Name):
+            return self.module_locks.get(expr.id)
+        return None
+
+    @staticmethod
+    def _is_no_grad(expr: ast.AST) -> bool:
+        return isinstance(expr, ast.Call) and _expr_name(expr.func) == "no_grad"
+
+    def _record_call(self, node: ast.Call, locks, no_grad, caught) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            self.facts.calls.append(RawCall(
+                kind="name", name=func.id, recv="", line=node.lineno,
+                locks=locks, no_grad=no_grad, caught=caught,
+            ))
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        name = func.attr
+        recv = func.value
+        if name in PRIMITIVE_NAMES:
+            # Blocking primitive: bounded iff it passes a positional arg
+            # (the timeout slot) or timeout=.  ``recv`` takes neither — a
+            # bare pipe read is always an unbounded park.
+            bounded = bool(node.args) or any(
+                kw.arg == "timeout" for kw in node.keywords
+            )
+            if name == "recv":
+                bounded = False
+            if not bounded:
+                self.facts.blocking.append(
+                    (name, _dotted(recv) or "<expr>", node.lineno, locks)
+                )
+            return
+        kind = "attr"
+        recv_repr = ""
+        if isinstance(recv, ast.Name):
+            kind, recv_repr = ("self", "") if recv.id == "self" else ("attr", recv.id)
+        elif (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+        ):
+            recv_repr = f"self.{recv.attr}"
+        elif isinstance(recv, ast.Call) and _expr_name(recv.func) == "super":
+            kind = "super"
+        else:
+            recv_repr = _dotted(recv) or "<expr>"
+        toggle = _toggle_kind(node)
+        if toggle is not None:
+            self.toggle_events.append((toggle, _dotted(recv) or "self", node.lineno))
+            return
+        self.facts.calls.append(RawCall(
+            kind=kind, name=name, recv=recv_repr, line=node.lineno,
+            locks=locks, no_grad=no_grad, caught=caught,
+        ))
+
+    def _record_raise(self, node: ast.Raise, caught: Tuple[str, ...]) -> None:
+        if node.exc is None:
+            return  # bare re-raise inside a handler: original escapes, the
+            #          handler's own masking already excludes it upstream
+        name = _expr_name(node.exc)
+        if name:
+            self.facts.raises.append((name, node.lineno, caught))
+
+    # -- walk ----------------------------------------------------------
+    def walk(self, func: ast.AST) -> None:
+        for stmt in getattr(func, "body", []):
+            self._visit(stmt, (), False, ())
+        # Resolve unrestored toggles: an "entry" toggle whose receiver has
+        # no restore inside a finally block of this function.
+        restored = {
+            recv for kind, recv, line in self.toggle_events
+            if kind in ("restore", "snapshot") and line in self.finally_lines
+        }
+        for kind, recv, line in self.toggle_events:
+            effective = kind
+            if kind == "snapshot" and line not in self.finally_lines:
+                effective = "entry"
+            if effective == "entry" and recv not in restored:
+                self.facts.toggles.append((recv, line))
+
+    def _visit(self, node: ast.AST, locks, no_grad, caught) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested scopes get their own facts
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner_locks, inner_no_grad = locks, no_grad
+            for item in node.items:
+                self._visit(item.context_expr, locks, no_grad, caught)
+                token = self._lock_token(item.context_expr)
+                if token is not None:
+                    self.facts.acquires.append((token, node.lineno, inner_locks))
+                    if token not in inner_locks:
+                        inner_locks = inner_locks + (token,)
+                elif self._is_no_grad(item.context_expr):
+                    inner_no_grad = True
+            for stmt in node.body:
+                self._visit(stmt, inner_locks, inner_no_grad, caught)
+            return
+        if isinstance(node, ast.Try):
+            masked = list(caught)
+            for handler in node.handlers:
+                reraises = any(
+                    isinstance(sub, ast.Raise) and sub.exc is None
+                    for stmt in handler.body for sub in ast.walk(stmt)
+                )
+                if reraises:
+                    continue  # catch-and-rethrow does not mask
+                if handler.type is None:
+                    masked.append("BaseException")
+                else:
+                    types = (
+                        handler.type.elts
+                        if isinstance(handler.type, ast.Tuple)
+                        else [handler.type]
+                    )
+                    masked.extend(filter(None, (_expr_name(t) for t in types)))
+            body_caught = tuple(masked)
+            for stmt in node.body:
+                self._visit(stmt, locks, no_grad, body_caught)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._visit(stmt, locks, no_grad, caught)
+            for stmt in node.orelse:
+                self._visit(stmt, locks, no_grad, body_caught)
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    line = getattr(sub, "lineno", None)
+                    if line is not None:
+                        self.finally_lines.add(line)
+                self._visit(stmt, locks, no_grad, caught)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node, locks, no_grad, caught)
+        elif isinstance(node, ast.Raise):
+            self._record_raise(node, caught)
+            if node.exc is not None:
+                self._visit(node.exc, locks, no_grad, caught)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locks, no_grad, caught)
+
+
+def extract_module(
+    path: str, tree: ast.AST
+) -> Tuple[ModuleSymbols, Dict[str, FunctionFacts]]:
+    """One file → (symbol table, per-function facts)."""
+    module = path_to_module(path)
+    symbols = ModuleSymbols(module=module, path=path)
+    module_locks: Dict[str, str] = {}
+
+    # Imports + module-level locks.
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                symbols.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(stmt, ast.ImportFrom) and stmt.module and stmt.level == 0:
+            for alias in stmt.names:
+                symbols.imports[alias.asname or alias.name] = (
+                    f"{stmt.module}.{alias.name}"
+                )
+        elif isinstance(stmt, ast.ImportFrom) and stmt.level > 0:
+            # Relative import: resolve against this module's package.
+            package_parts = module.split(".")[: -stmt.level]
+            base = ".".join(package_parts + ([stmt.module] if stmt.module else []))
+            for alias in stmt.names:
+                symbols.imports[alias.asname or alias.name] = f"{base}.{alias.name}"
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and _is_lock_factory_call(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    module_locks[target.id] = f"{module}:{target.id}"
+
+    # Classes, functions, facts — depth-first with qualnames.
+    facts: Dict[str, FunctionFacts] = {}
+
+    def visit(node: ast.AST, prefix: str, class_name: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                info = ClassInfo(
+                    module=module, name=child.name, path=path, line=child.lineno,
+                    bases=tuple(filter(None, (_dotted(b) for b in child.bases))),
+                )
+                _scan_class(child, info, module)
+                symbols.classes[child.name] = info
+                visit(child, qualname, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                decorators = tuple(
+                    filter(None, (_dotted(d) or _expr_name(d) for d in child.decorator_list))
+                )
+                info = FunctionInfo(
+                    module=module, qualname=qualname, path=path,
+                    line=child.lineno, class_name=class_name,
+                    decorators=decorators,
+                )
+                symbols.functions[qualname] = info
+                if class_name:
+                    owner = symbols.classes.get(class_name)
+                    if owner is not None:
+                        owner.methods.setdefault(child.name, qualname)
+                if child.name not in ("train", "eval"):
+                    fn_facts = FunctionFacts(fid=info.fid)
+                    lock_attrs = (
+                        symbols.classes[class_name].lock_attrs if class_name else {}
+                    )
+                    walker = _ScopeWalker(fn_facts, lock_attrs, module_locks)
+                    walker.walk(child)
+                    facts[info.fid] = fn_facts
+                else:
+                    # Module.train/eval *are* the toggle mechanism; their
+                    # bodies still contribute call edges.
+                    fn_facts = FunctionFacts(fid=info.fid)
+                    walker = _ScopeWalker(
+                        fn_facts,
+                        symbols.classes[class_name].lock_attrs if class_name else {},
+                        module_locks,
+                    )
+                    walker.walk(child)
+                    fn_facts.toggles = []
+                    facts[info.fid] = fn_facts
+                visit(child, qualname, class_name)
+            else:
+                visit(child, prefix, class_name)
+
+    def _scan_class(cls_node: ast.ClassDef, info: ClassInfo, module: str) -> None:
+        token = lambda attr: f"{module}:{info.name}.{attr}"  # noqa: E731
+        annotations: Dict[str, Dict[str, str]] = {}
+        for stmt in cls_node.body:
+            # Dataclass-style lock field.
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                value = stmt.value
+                if _expr_name(value.func) == "field":
+                    for kw in value.keywords:
+                        if kw.arg == "default_factory" and _expr_name(kw.value) in (
+                            _LOCK_FACTORIES | {"Condition"}
+                        ):
+                            info.lock_attrs[stmt.target.id] = stmt.target.id
+                elif _is_lock_factory_call(value):
+                    info.lock_attrs[stmt.target.id] = stmt.target.id
+        for method in cls_node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = {}
+            for arg in method.args.args + method.args.kwonlyargs:
+                ann = arg.annotation
+                if ann is None:
+                    continue
+                if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                    annotated = ann.value.strip()  # pool: "ReplicaPool"
+                else:
+                    annotated = _dotted(ann) or _expr_name(ann)
+                if annotated:
+                    params[arg.arg] = annotated
+            annotations[method.name] = params
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    attr = target.attr
+                    factory = _is_lock_factory_call(node.value)
+                    if factory in _LOCK_FACTORIES:
+                        info.lock_attrs[attr] = attr
+                    elif factory == "Condition":
+                        # Condition(self._lock) aliases the underlying lock;
+                        # Condition() owns its own.
+                        args = node.value.args
+                        if (
+                            args
+                            and isinstance(args[0], ast.Attribute)
+                            and isinstance(args[0].value, ast.Name)
+                            and args[0].value.id == "self"
+                        ):
+                            info.lock_attrs[attr] = info.lock_attrs.get(
+                                args[0].attr, args[0].attr
+                            )
+                        else:
+                            info.lock_attrs[attr] = attr
+                    elif isinstance(node.value, ast.Call):
+                        # ``self.pool = ReplicaPool(...)`` — CapWord ctor
+                        # gives the attribute a static type.
+                        ctor = _dotted(node.value.func)
+                        leaf = ctor.rsplit(".", 1)[-1] if ctor else ""
+                        if leaf[:1].isupper():
+                            info.attr_types.setdefault(attr, ctor)
+                    elif isinstance(node.value, ast.Name):
+                        annotated = annotations.get(method.name, {}).get(node.value.id)
+                        if annotated:
+                            info.attr_types.setdefault(attr, annotated)
+        # Canonicalise lock tokens to class-qualified form.
+        info.lock_attrs = {
+            attr: token(canonical) for attr, canonical in info.lock_attrs.items()
+        }
+
+    visit(tree, "", "")
+    return symbols, facts
+
+
+# ----------------------------------------------------------------------
+# Summaries + fixpoint
+# ----------------------------------------------------------------------
+@dataclass
+class Summary:
+    """Fixpoint effects of one function (its body plus everything reachable)."""
+
+    blocks: bool = False
+    acquires: frozenset = frozenset()       # lock tokens, transitively
+    raises: frozenset = frozenset()         # exception names escaping
+    grad: bool = False                      # reaches unmasked nn compute
+    toggles: bool = False                   # reaches unrestored train() entry
+
+
+@dataclass
+class WitnessStep:
+    """One hop of a caller→…→site diagnostic chain."""
+
+    fid: str
+    path: str
+    line: int
+    label: str
+
+    def describe(self) -> str:
+        qualname = self.fid.split(":", 1)[1] if ":" in self.fid else self.fid
+        return f"{self.path}:{self.line}: {qualname} — {self.label}"
+
+
+class ProjectContext:
+    """Symbol table + call graph + fixpoint summaries for one lint pass.
+
+    Built once per :func:`~repro.analysis.core.run_lint` invocation and
+    handed to every rule via ``Rule.bind_project``; the interprocedural
+    rules in :mod:`repro.analysis.rules.interprocedural` are thin queries
+    over this object.
+    """
+
+    def __init__(
+        self,
+        table: SymbolTable,
+        graph: CallGraph,
+        facts: Dict[str, FunctionFacts],
+        build_seconds: float = 0.0,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> None:
+        self.table = table
+        self.graph = graph
+        self.facts = facts
+        self.build_seconds = build_seconds
+        self.cache_hits = cache_hits
+        self.cache_misses = cache_misses
+        self.summaries: Dict[str, Summary] = {}
+        self._exception_parents: Optional[Dict[str, Set[str]]] = None
+        self._compute_summaries()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        files: Sequence[Tuple[str, str, Optional[ast.AST]]],
+        cache_path: Optional[Path] = None,
+    ) -> "ProjectContext":
+        """Build from ``(path, source, parsed-tree-or-None)`` triples.
+
+        With ``cache_path``, per-file symbols+facts are reused when the
+        source hash matches (extending the PR 2 snapshot idiom: versioned
+        JSON, silently rebuilt on mismatch) and the cache is rewritten
+        afterwards.
+        """
+        started = time.perf_counter()
+        cache: Dict[str, Dict] = {}
+        if cache_path is not None and Path(cache_path).exists():
+            try:
+                payload = json.loads(Path(cache_path).read_text(encoding="utf-8"))
+                if payload.get("version") == ANALYSIS_VERSION:
+                    cache = payload.get("files", {})
+            except (json.JSONDecodeError, OSError):
+                cache = {}
+
+        modules: List[ModuleSymbols] = []
+        all_facts: Dict[str, FunctionFacts] = {}
+        new_cache: Dict[str, Dict] = {}
+        hits = misses = 0
+        for path, source, tree in files:
+            digest = hashlib.sha256(
+                f"{ANALYSIS_VERSION}\n{source}".encode("utf-8")
+            ).hexdigest()
+            entry = cache.get(path)
+            if entry is not None and entry.get("sha") == digest:
+                hits += 1
+                symbols = ModuleSymbols.from_dict(entry["symbols"])
+                module_facts = {
+                    fid: FunctionFacts.from_dict(fid, row)
+                    for fid, row in entry["facts"].items()
+                }
+            else:
+                misses += 1
+                if tree is None:
+                    try:
+                        tree = ast.parse(source)
+                    except SyntaxError:
+                        continue
+                symbols, module_facts = extract_module(path, tree)
+            modules.append(symbols)
+            all_facts.update(module_facts)
+            new_cache[path] = {
+                "sha": digest,
+                "symbols": symbols.to_dict(),
+                "facts": {fid: f.to_dict() for fid, f in module_facts.items()},
+            }
+
+        table = SymbolTable(modules)
+        resolver = CallResolver(table)
+        graph = CallGraph()
+        for fid, facts in all_facts.items():
+            caller = table.functions.get(fid)
+            if caller is None:
+                continue
+            for call in facts.calls:
+                callees = tuple(
+                    resolver.resolve(call.kind, call.name, call.recv, caller)
+                )
+                if callees:
+                    graph.add(ResolvedCall(
+                        caller=fid, line=call.line, name=call.name,
+                        callees=callees, locks=call.locks,
+                        no_grad=call.no_grad, caught=call.caught,
+                    ))
+
+        if cache_path is not None:
+            try:
+                Path(cache_path).write_text(
+                    json.dumps({"version": ANALYSIS_VERSION, "files": new_cache})
+                    + "\n",
+                    encoding="utf-8",
+                )
+            except OSError:
+                pass  # read-only checkout: the cache is an optimisation only
+
+        return cls(
+            table, graph, all_facts,
+            build_seconds=time.perf_counter() - started,
+            cache_hits=hits, cache_misses=misses,
+        )
+
+    # ------------------------------------------------------------------
+    # Exception hierarchy helpers
+    # ------------------------------------------------------------------
+    def exception_parents(self) -> Dict[str, Set[str]]:
+        """Project class name → its transitive base names (project classes
+        resolved through the hierarchy; externals appear as raw names)."""
+        if self._exception_parents is None:
+            parents: Dict[str, Set[str]] = {}
+            for cls in self.table.classes.values():
+                names: Set[str] = set()
+                for key in self.table.linearize(cls):
+                    owner = self.table.classes[key]
+                    names.add(owner.name)
+                    names.update(b.rsplit(".", 1)[-1] for b in owner.bases)
+                names.discard(cls.name)
+                existing = parents.setdefault(cls.name, set())
+                existing.update(names)
+            self._exception_parents = parents
+        return self._exception_parents
+
+    def _masked(self, raised: str, caught: Tuple[str, ...]) -> bool:
+        if not caught:
+            return False
+        caught_set = set(caught)
+        if {"Exception", "BaseException"} & caught_set:
+            return True
+        if raised in caught_set:
+            return True
+        ancestors = self.exception_parents().get(raised, set())
+        return bool(ancestors & caught_set)
+
+    # ------------------------------------------------------------------
+    # Fixpoint
+    # ------------------------------------------------------------------
+    def _compute_summaries(self) -> None:
+        summaries = {fid: Summary() for fid in self.facts}
+        # Seed with intraprocedural effects.  Grad seeds are both syntactic
+        # (a ``backward()`` call outside no_grad) and resolved (a direct,
+        # unmasked edge into nn compute) — the graph exists by now.
+        for fid, facts in self.facts.items():
+            direct_raises = frozenset(
+                name for name, _line, caught in facts.raises
+                if not self._masked(name, caught)
+            )
+            grad = any(
+                call.name == "backward" and not call.no_grad
+                for call in facts.calls
+            ) or any(
+                not call.no_grad
+                and any(
+                    kind != "dynamic" and self.is_nn_compute(callee)
+                    for callee, kind in call.callees
+                )
+                for call in self.graph.calls_from(fid)
+            )
+            summaries[fid] = Summary(
+                blocks=bool(facts.blocking),
+                acquires=frozenset(t for t, _l, _h in facts.acquires),
+                raises=direct_raises,
+                grad=grad,
+                toggles=bool(facts.toggles),
+            )
+        # Propagate to fixpoint (all effects are monotone unions/ORs).
+        changed = True
+        rounds = 0
+        while changed and rounds < 100:
+            changed = False
+            rounds += 1
+            for fid in self.facts:
+                current = summaries[fid]
+                blocks, grad, toggles = current.blocks, current.grad, current.toggles
+                acquires = set(current.acquires)
+                raises = set(current.raises)
+                for call in self.graph.calls_from(fid):
+                    for callee, kind in call.callees:
+                        callee_summary = summaries.get(callee)
+                        if callee_summary is None:
+                            continue
+                        blocks = blocks or callee_summary.blocks
+                        if kind == "dynamic":
+                            # Dynamic-dispatch edges carry only the blocks
+                            # effect.  Common bare names (`key.encode()`,
+                            # `counts.get()`) resolve to unrelated project
+                            # methods and would invent grad leaks, phantom
+                            # raises, and lock-order inversions; blocking is
+                            # worth the over-approximation because a missed
+                            # deadlock is a hang, not a report to triage.
+                            continue
+                        acquires |= callee_summary.acquires
+                        if not call.no_grad:
+                            grad = grad or callee_summary.grad
+                            toggles = toggles or callee_summary.toggles
+                        for name in callee_summary.raises:
+                            if not self._masked(name, call.caught):
+                                raises.add(name)
+                new = Summary(
+                    blocks=blocks, acquires=frozenset(acquires),
+                    raises=frozenset(raises), grad=grad, toggles=toggles,
+                )
+                if new != current:
+                    summaries[fid] = new
+                    changed = True
+        self.summaries = summaries
+
+    # ------------------------------------------------------------------
+    # Queries used by rules
+    # ------------------------------------------------------------------
+    def functions_under(self, prefixes: Iterable[str]) -> List[FunctionInfo]:
+        """Functions whose file path matches any prefix (same semantics as
+        ``Rule.applies_to``: prefix or ``/prefix`` substring)."""
+        prefixes = tuple(prefixes)
+        out = []
+        for info in self.table.functions.values():
+            if any(
+                info.path.startswith(p) or f"/{p}" in info.path for p in prefixes
+            ):
+                out.append(info)
+        return sorted(out, key=lambda i: (i.path, i.line))
+
+    def summary(self, fid: str) -> Summary:
+        return self.summaries.get(fid, Summary())
+
+    def is_nn_compute(self, fid: str) -> bool:
+        """Whether ``fid`` is a gradient-enabled nn compute entry."""
+        module, _, qualname = fid.partition(":")
+        return (
+            module == NN_MODULE_PREFIX
+            or module.startswith(NN_MODULE_PREFIX + ".")
+        ) and qualname.rsplit(".", 1)[-1] in NN_COMPUTE_NAMES
+
+    # -- witness chains ------------------------------------------------
+    def blocking_witness(self, fid: str, seen: Optional[Set[str]] = None) -> List[WitnessStep]:
+        """Shortest-found chain from ``fid`` to an unbounded blocking site."""
+        seen = seen if seen is not None else set()
+        if fid in seen:
+            return []
+        seen.add(fid)
+        facts = self.facts.get(fid)
+        info = self.table.functions.get(fid)
+        if facts is None or info is None:
+            return []
+        if facts.blocking:
+            name, recv, line, _locks = min(facts.blocking, key=lambda b: b[2])
+            return [WitnessStep(fid, info.path, line, f"{recv}.{name}() without timeout")]
+        for call in sorted(self.graph.calls_from(fid), key=lambda c: c.line):
+            for callee, _kind in call.callees:
+                if self.summary(callee).blocks:
+                    rest = self.blocking_witness(callee, seen)
+                    if rest:
+                        return [
+                            WitnessStep(fid, info.path, call.line, f"calls {call.name}()")
+                        ] + rest
+        return []
+
+    def acquire_witness(
+        self, fid: str, token: str, seen: Optional[Set[str]] = None
+    ) -> List[WitnessStep]:
+        """Chain from ``fid`` to an acquisition of lock ``token``
+        (non-dynamic edges only, matching the lock-order propagation)."""
+        seen = seen if seen is not None else set()
+        if fid in seen:
+            return []
+        seen.add(fid)
+        facts = self.facts.get(fid)
+        info = self.table.functions.get(fid)
+        if facts is None or info is None:
+            return []
+        for acquired, line, _held in facts.acquires:
+            if acquired == token:
+                return [WitnessStep(fid, info.path, line, f"acquires {token}")]
+        for call in sorted(self.graph.calls_from(fid), key=lambda c: c.line):
+            for callee, kind in call.callees:
+                if kind == "dynamic":
+                    continue
+                if token in self.summary(callee).acquires:
+                    rest = self.acquire_witness(callee, token, seen)
+                    if rest:
+                        return [
+                            WitnessStep(fid, info.path, call.line, f"calls {call.name}()")
+                        ] + rest
+        return []
+
+    def grad_witness(self, fid: str, seen: Optional[Set[str]] = None) -> List[WitnessStep]:
+        """Chain from ``fid`` to unmasked nn compute or an unrestored toggle."""
+        seen = seen if seen is not None else set()
+        if fid in seen:
+            return []
+        seen.add(fid)
+        facts = self.facts.get(fid)
+        info = self.table.functions.get(fid)
+        if facts is None or info is None:
+            return []
+        if facts.toggles:
+            recv, line = facts.toggles[0]
+            return [WitnessStep(
+                fid, info.path, line, f"{recv}.train(...) never restored in finally"
+            )]
+        for call in facts.calls:
+            if not call.no_grad and call.name == "backward":
+                return [WitnessStep(fid, info.path, call.line, "backward() outside no_grad")]
+        for call in sorted(self.graph.calls_from(fid), key=lambda c: c.line):
+            if call.no_grad:
+                continue
+            for callee, kind in call.callees:
+                if kind == "dynamic":
+                    continue  # mirrors the fixpoint: no grad over dynamic edges
+                if self.is_nn_compute(callee):
+                    return [WitnessStep(
+                        fid, info.path, call.line,
+                        f"calls nn compute {callee.split(':', 1)[1]} outside no_grad",
+                    )]
+                if self.summary(callee).grad or self.summary(callee).toggles:
+                    rest = self.grad_witness(callee, seen)
+                    if rest:
+                        return [
+                            WitnessStep(fid, info.path, call.line, f"calls {call.name}()")
+                        ] + rest
+        return []
+
+    def raise_witness(
+        self, fid: str, name: str, seen: Optional[Set[str]] = None
+    ) -> List[WitnessStep]:
+        """Chain from ``fid`` to an escaping ``raise <name>``."""
+        seen = seen if seen is not None else set()
+        if fid in seen:
+            return []
+        seen.add(fid)
+        facts = self.facts.get(fid)
+        info = self.table.functions.get(fid)
+        if facts is None or info is None:
+            return []
+        for raised, line, caught in facts.raises:
+            if raised == name and not self._masked(raised, caught):
+                return [WitnessStep(fid, info.path, line, f"raise {name}")]
+        for call in sorted(self.graph.calls_from(fid), key=lambda c: c.line):
+            if self._masked(name, call.caught):
+                continue
+            for callee, kind in call.callees:
+                if kind == "dynamic":
+                    continue  # mirrors the fixpoint: no raises over dynamic edges
+                if name in self.summary(callee).raises:
+                    rest = self.raise_witness(callee, name, seen)
+                    if rest:
+                        return [
+                            WitnessStep(fid, info.path, call.line, f"calls {call.name}()")
+                        ] + rest
+        return []
+
+

@@ -24,10 +24,28 @@ def summarize(result: LintResult) -> str:
     if result.stale:
         extras.append(f"{len(result.stale)} stale baseline entr(y/ies)")
     detail = f" ({', '.join(extras)})" if extras else ""
+    graph = ""
+    if result.functions:
+        graph = (
+            f" [callgraph: {result.functions} fns, {result.call_edges} edges "
+            f"in {result.callgraph_seconds:.2f}s, "
+            f"cache {result.cache_hit_rate:.0%}]"
+        )
     return (
         f"lint: {result.files} files in {result.elapsed_seconds:.2f}s "
-        f"({result.files_per_second:.0f} files/s) -> {verdict}{detail}"
+        f"({result.files_per_second:.0f} files/s) -> {verdict}{detail}{graph}"
     )
+
+
+def render_rule_table(result: LintResult) -> str:
+    """Per-rule new-finding counts, aligned — printed by CI on failure."""
+    counts = result.counts_by_rule()
+    if not counts:
+        return "no new findings"
+    width = max(len(rule) for rule in counts)
+    lines = [f"{rule:<{width}}  {count:>4}" for rule, count in counts.items()]
+    lines.append(f"{'total':<{width}}  {sum(counts.values()):>4}")
+    return "\n".join(lines)
 
 
 def render_text(result: LintResult, show_baselined: bool = False) -> str:
@@ -61,6 +79,13 @@ def render_json(result: LintResult) -> str:
             "suppressed": result.suppressed,
             "stale": len(result.stale),
             "ok": result.ok,
+            "callgraph_seconds": result.callgraph_seconds,
+            "functions": result.functions,
+            "call_edges": result.call_edges,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "cache_hit_rate": result.cache_hit_rate,
         },
+        "by_rule": result.counts_by_rule(),
     }
     return json.dumps(payload, indent=1) + "\n"

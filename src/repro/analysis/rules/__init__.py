@@ -9,6 +9,12 @@ from .bounded_wait import BoundedWaitRule
 from .dtype import InferenceDtypeRule
 from .futures import FutureHygieneRule
 from .grad_mode import ProbeModeDisciplineRule
+from .interprocedural import (
+    BlockingUnderLockRule,
+    LockOrderRule,
+    RouterExceptionTaxonomyRule,
+    ServingGradLeakRule,
+)
 from .markers import PytestMarkerDeclaredRule
 from .threading_rules import LockDisciplineRule, ThreadLocalStateRule
 
@@ -20,4 +26,8 @@ __all__ = [
     "PytestMarkerDeclaredRule",
     "LockDisciplineRule",
     "ThreadLocalStateRule",
+    "BlockingUnderLockRule",
+    "LockOrderRule",
+    "RouterExceptionTaxonomyRule",
+    "ServingGradLeakRule",
 ]

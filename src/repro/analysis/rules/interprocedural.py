@@ -1,0 +1,292 @@
+"""Interprocedural rules: deadlock, lock-order, grad-leak, exception taxonomy.
+
+These four rules are queries over the :class:`~repro.analysis.dataflow.
+ProjectContext` fixpoint summaries — each one states a whole-program
+invariant that the per-file rules structurally cannot check, because the
+bug only exists across a call chain:
+
+* ``blocking-under-lock`` — PR 8's scheduler deadlock class.  A
+  timeout-less ``wait``/``join``/``result``/pipe ``recv`` reachable while
+  *any* lock is held parks the thread with the lock pinned; every other
+  thread needing that lock then parks behind it.
+* ``lock-order`` — AB/BA inversions.  The lock-acquisition graph gets an
+  edge A→B whenever B is acquired (directly or through calls) while A is
+  held; any cycle is a potential deadlock between ``Router``,
+  ``ReplicaPool``, ``ClusterStats``, ``PipelineStats``-style lock pairs.
+* ``serving-grad-leak`` — PR 6's bug class.  Serving/cluster/resilience
+  entry points must not reach gradient-enabled nn compute (or leave a
+  ``train()`` toggle unrestored) through any chain that is not masked by
+  ``with no_grad():`` somewhere along the way.
+* ``router-exception-taxonomy`` — PR 8 introduced the ``RejectedError``
+  taxonomy precisely so callers could catch admission failures narrowly;
+  a public ``Router``/``LinkingService`` surface leaking some other raw
+  exception re-breaks that contract.
+
+Every finding carries a ``caller → … → site`` witness chain rendered by
+``Finding.describe``, so the gate output reads like a sanitizer report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from ..core import Finding, ProjectRule, register
+from ..dataflow import ProjectContext, WitnessStep
+
+
+def _chain(steps: List[WitnessStep]) -> Tuple[str, ...]:
+    return tuple(step.describe() for step in steps)
+
+
+def _qualname(fid: str) -> str:
+    return fid.split(":", 1)[1] if ":" in fid else fid
+
+
+@register
+class BlockingUnderLockRule(ProjectRule):
+    """No timeout-less blocking call may be reachable while a lock is held."""
+
+    name = "blocking-under-lock"
+    description = (
+        "timeout-less wait/join/result/recv reachable while a lock is held "
+        "(cross-function deadlock)"
+    )
+    default_paths = ("src/repro/",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for info in project.functions_under(self.paths()):
+            facts = project.facts.get(info.fid)
+            if facts is None:
+                continue
+            # Direct: the blocking site itself sits inside `with <lock>:`.
+            for prim, recv, line, locks in facts.blocking:
+                if not locks:
+                    continue
+                yield Finding(
+                    path=info.path, line=line, rule=self.name,
+                    symbol=info.qualname,
+                    message=(
+                        f"{recv}.{prim}() blocks without a timeout while "
+                        f"holding {', '.join(locks)}"
+                    ),
+                    chain=(WitnessStep(
+                        info.fid, info.path, line,
+                        f"{recv}.{prim}() without timeout",
+                    ).describe(),),
+                )
+            # Interprocedural: a call made under a lock reaches a blocking
+            # site any number of hops away.
+            reported: Set[str] = set()
+            for call in project.graph.calls_from(info.fid):
+                if not call.locks:
+                    continue
+                for callee, _kind in call.callees:
+                    if callee in reported or not project.summary(callee).blocks:
+                        continue
+                    witness = project.blocking_witness(callee)
+                    if not witness:
+                        continue
+                    reported.add(callee)
+                    head = WitnessStep(
+                        info.fid, info.path, call.line,
+                        f"calls {call.name}() holding {', '.join(call.locks)}",
+                    )
+                    yield Finding(
+                        path=info.path, line=call.line, rule=self.name,
+                        symbol=f"{info.qualname} -> {_qualname(witness[-1].fid)}",
+                        message=(
+                            f"holds {', '.join(call.locks)} across a call "
+                            f"chain that blocks without a timeout in "
+                            f"{_qualname(witness[-1].fid)}"
+                        ),
+                        chain=_chain([head] + witness),
+                    )
+
+
+@register
+class LockOrderRule(ProjectRule):
+    """The project lock-acquisition graph must stay acyclic."""
+
+    name = "lock-order"
+    description = (
+        "cyclic lock-acquisition order (AB/BA inversion) across call chains"
+    )
+    default_paths = ("src/repro/",)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        # Edge A -> B: B acquired while A held, with one representative
+        # witness per edge.  Dynamic-dispatch edges are excluded from the
+        # acquires closure (see the fixpoint), so every edge here is real.
+        edges: dict = {}
+        for info in project.functions_under(self.paths()):
+            facts = project.facts.get(info.fid)
+            if facts is None:
+                continue
+            for token, line, held in facts.acquires:
+                for holder in held:
+                    if holder != token:
+                        edges.setdefault((holder, token), (info, line, None))
+            for call in project.graph.calls_from(info.fid):
+                if not call.locks:
+                    continue
+                for callee, kind in call.callees:
+                    if kind == "dynamic":
+                        continue
+                    for token in project.summary(callee).acquires:
+                        for holder in call.locks:
+                            if holder != token:
+                                edges.setdefault(
+                                    (holder, token), (info, call.line, callee)
+                                )
+
+        adjacency: dict = {}
+        for a, b in edges:
+            adjacency.setdefault(a, set()).add(b)
+        for cycle in self._cycles(adjacency):
+            steps: List[str] = []
+            pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+            for a, b in pairs:
+                info, line, callee = edges[(a, b)]
+                step = WitnessStep(
+                    info.fid, info.path, line,
+                    f"acquires {b} while holding {a}",
+                )
+                steps.append(step.describe())
+                if callee is not None:
+                    steps.extend(_chain(project.acquire_witness(callee, b)))
+            info, line, _callee = edges[pairs[0]]
+            order = " -> ".join(cycle + (cycle[0],))
+            yield Finding(
+                path=info.path, line=line, rule=self.name,
+                symbol=order,
+                message=f"lock-order inversion: {order}",
+                chain=tuple(steps),
+            )
+
+    @staticmethod
+    def _cycles(adjacency: dict) -> List[Tuple[str, ...]]:
+        """One canonical simple cycle per strongly-connected component."""
+        cycles: List[Tuple[str, ...]] = []
+        seen_keys: Set[Tuple[str, ...]] = set()
+        for start in sorted(adjacency):
+            # BFS back to `start`; the shortest loop is the clearest report.
+            parents = {start: None}
+            queue = [start]
+            found = None
+            while queue and found is None:
+                node = queue.pop(0)
+                for nxt in sorted(adjacency.get(node, ())):
+                    if nxt == start:
+                        found = node
+                        break
+                    if nxt not in parents:
+                        parents[nxt] = node
+                        queue.append(nxt)
+            if found is None:
+                continue
+            path = [found]
+            while parents[path[-1]] is not None:
+                path.append(parents[path[-1]])
+            cycle = tuple(reversed(path))
+            # Canonicalise rotation so A->B->A and B->A->B dedupe.
+            smallest = min(range(len(cycle)), key=lambda i: cycle[i])
+            canonical = cycle[smallest:] + cycle[:smallest]
+            if canonical not in seen_keys:
+                seen_keys.add(canonical)
+                cycles.append(canonical)
+        return cycles
+
+
+@register
+class ServingGradLeakRule(ProjectRule):
+    """Serving entry points must stay on the inference side of autograd."""
+
+    name = "serving-grad-leak"
+    description = (
+        "serving/cluster/resilience entry point reaches gradient-enabled nn "
+        "compute or an unrestored train() toggle"
+    )
+    default_paths = (
+        "src/repro/serving/",
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for info in project.functions_under(self.paths()):
+            # Entry points only: private helpers on a leaking chain show up
+            # as hops in the public entry's witness, not as their own
+            # finding — one leak, one report.
+            if not info.is_public:
+                continue
+            summary = project.summary(info.fid)
+            if not summary.grad and not summary.toggles:
+                continue
+            witness = project.grad_witness(info.fid)
+            if not witness:
+                continue
+            terminal = witness[-1]
+            what = (
+                "an unrestored train() toggle"
+                if "train(" in terminal.label
+                else "gradient-enabled nn compute"
+            )
+            yield Finding(
+                path=info.path, line=info.line, rule=self.name,
+                symbol=f"{info.qualname} -> {_qualname(terminal.fid)}",
+                message=(
+                    f"serving path {info.qualname} reaches {what} with no "
+                    f"`with no_grad():` on the chain"
+                ),
+                chain=_chain(witness),
+            )
+
+
+@register
+class RouterExceptionTaxonomyRule(ProjectRule):
+    """Public front-door surfaces only raise the documented taxonomy.
+
+    PR 8's contract: callers of ``Router``/``LinkingService`` catch
+    ``RejectedError`` (and its documented subclasses) for admission
+    failures, ``TimeoutError`` for deadline misses, and ``ValueError`` /
+    ``RuntimeError`` for caller bugs.  Anything else escaping a public
+    method is an undocumented failure mode.  ``NotImplementedError`` is
+    exempt project-wide — it marks abstract stubs, not runtime failures.
+    """
+
+    name = "router-exception-taxonomy"
+    description = (
+        "public Router/LinkingService methods may only raise RejectedError "
+        "subclasses, TimeoutError, ValueError or RuntimeError"
+    )
+    default_paths = ("src/repro/serving/",)
+
+    #: Class names whose public methods form the audited surface.
+    SURFACE_CLASSES = ("Router", "LinkingService")
+
+    #: Always-acceptable escapes, beyond RejectedError and its subclasses.
+    BASE_ALLOWED = frozenset({
+        "RejectedError", "TimeoutError", "FutureTimeoutError",
+        "ValueError", "RuntimeError", "NotImplementedError",
+    })
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        allowed = set(self.BASE_ALLOWED)
+        allowed.update(project.table.subclasses_of("RejectedError"))
+        allowed.update(str(n) for n in self.options.get("allowed", ()))
+        surfaces = tuple(
+            str(n) for n in self.options.get("classes", self.SURFACE_CLASSES)
+        )
+        for info in project.functions_under(self.paths()):
+            if info.class_name not in surfaces or not info.is_public:
+                continue
+            for name in sorted(project.summary(info.fid).raises - allowed):
+                witness = project.raise_witness(info.fid, name)
+                yield Finding(
+                    path=info.path, line=info.line, rule=self.name,
+                    symbol=f"{info.qualname} -> {name}",
+                    message=(
+                        f"public surface {info.qualname} can leak {name}; "
+                        f"wrap it in the documented taxonomy "
+                        f"(RejectedError subclass or TimeoutError)"
+                    ),
+                    chain=_chain(witness),
+                )

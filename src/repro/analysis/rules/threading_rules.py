@@ -228,6 +228,33 @@ class LockDisciplineRule(Rule):
             if isinstance(node, ast.ClassDef):
                 yield from self._check_class(ctx, node)
 
+    def check_project(self, project: object) -> Iterator[Finding]:
+        """Interprocedural leg (PR 9): the ``*_locked`` naming convention
+        promises the caller already holds a lock — verify every resolved
+        call site into a ``*_locked`` method actually does.  Callers that
+        are themselves ``*_locked`` inherit the promise from *their*
+        caller and are skipped."""
+        for info in project.functions_under(self.paths()):
+            if info.name.endswith("_locked"):
+                continue
+            for call in project.graph.calls_from(info.fid):
+                if call.locks or not call.name.endswith("_locked"):
+                    continue
+                if not any(
+                    project.table.functions.get(callee) is not None
+                    for callee, _kind in call.callees
+                ):
+                    continue
+                yield Finding(
+                    path=info.path, line=call.line, rule=self.name,
+                    symbol=info.qualname,
+                    message=(
+                        f"{call.name}() promises the caller holds a lock "
+                        f"(`_locked` suffix) but {info.qualname} calls it "
+                        f"with no lock held"
+                    ),
+                )
+
     # ------------------------------------------------------------------
     def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterator[Finding]:
         lock_attrs = self._lock_attributes(cls)

@@ -62,6 +62,43 @@ class TestBaselineMatching:
         assert [entry.path for entry in stale] == ["src/repro/serving/gone.py"]
 
 
+class TestRenameFallback:
+    """A moved file should not invalidate its baseline entries: when the
+    old path is gone, an entry may match a finding with the same
+    ``(rule, symbol)`` at a new path."""
+
+    def entry(self):
+        return BaselineEntry(
+            rule="inference-dtype", path="src/repro/serving/old.py",
+            symbol="X.y",
+        )
+
+    def test_entry_follows_the_symbol_when_old_path_is_gone(self, tmp_path):
+        baseline = Baseline([self.entry()])
+        moved = make_finding(path="src/repro/serving/renamed.py")
+        new, matched, stale = baseline.partition([moved], root=tmp_path)
+        assert new == [] and matched == [moved] and stale == []
+
+    def test_no_fallback_while_the_old_path_still_exists(self, tmp_path):
+        old = tmp_path / "src" / "repro" / "serving" / "old.py"
+        old.parent.mkdir(parents=True)
+        old.write_text("VALUE = 1\n")
+        baseline = Baseline([self.entry()])
+        moved = make_finding(path="src/repro/serving/renamed.py")
+        new, matched, stale = baseline.partition([moved], root=tmp_path)
+        assert new == [moved]
+        assert matched == []
+        assert [e.path for e in stale] == ["src/repro/serving/old.py"]
+
+    def test_fallback_requires_matching_symbol(self, tmp_path):
+        baseline = Baseline([self.entry()])
+        other = make_finding(
+            path="src/repro/serving/renamed.py", symbol="X.other",
+        )
+        new, matched, stale = baseline.partition([other], root=tmp_path)
+        assert new == [other] and matched == []
+
+
 class TestBaselinePersistence:
     def test_round_trip(self, tmp_path):
         baseline = Baseline([

@@ -1,0 +1,257 @@
+"""Call-graph resolution edge cases: diamonds, super(), decorators,
+aliased imports, and the conservative dynamic-dispatch fallback."""
+
+import textwrap
+
+from repro.analysis.callgraph import DYNAMIC_CANDIDATE_CAP, path_to_module
+from repro.analysis.dataflow import ProjectContext
+
+
+def build(files):
+    """ProjectContext over in-memory ``path -> source`` blobs."""
+    return ProjectContext.build(
+        [(path, textwrap.dedent(source), None) for path, source in files.items()]
+    )
+
+
+def edges(project, fid):
+    """Flattened (callee, kind) pairs for every call site of ``fid``."""
+    out = []
+    for call in project.graph.calls_from(fid):
+        out.extend(call.callees)
+    return out
+
+
+class TestPathToModule:
+    def test_src_relative(self):
+        assert path_to_module("src/repro/serving/cluster.py") == (
+            "repro.serving.cluster"
+        )
+
+    def test_seeded_absolute_copy_resolves_identically(self):
+        assert path_to_module("/tmp/seed/src/repro/serving/cluster.py") == (
+            "repro.serving.cluster"
+        )
+
+    def test_package_init(self):
+        assert path_to_module("src/repro/nn/__init__.py") == "repro.nn"
+
+
+class TestMethodResolution:
+    def test_diamond_inheritance_follows_mro(self):
+        # D(B, C), B(A), C(A); only C and A define ping.  C3 (and our BFS)
+        # place C before A, so D's self.ping() must hit C.ping.
+        project = build({
+            "src/repro/pkg/diamond.py": """
+                class A:
+                    def ping(self):
+                        return "a"
+
+                class B(A):
+                    pass
+
+                class C(A):
+                    def ping(self):
+                        return "c"
+
+                class D(B, C):
+                    def go(self):
+                        return self.ping()
+                """,
+        })
+        assert edges(project, "repro.pkg.diamond:D.go") == [
+            ("repro.pkg.diamond:C.ping", "method"),
+        ]
+
+    def test_super_call_skips_the_defining_class(self):
+        project = build({
+            "src/repro/pkg/sup.py": """
+                class Base:
+                    def run(self):
+                        return 1
+
+                class Child(Base):
+                    def run(self):
+                        return super().run() + 1
+                """,
+        })
+        assert edges(project, "repro.pkg.sup:Child.run") == [
+            ("repro.pkg.sup:Base.run", "super"),
+        ]
+
+    def test_decorated_function_still_resolves(self):
+        project = build({
+            "src/repro/pkg/deco.py": """
+                import functools
+
+                @functools.lru_cache(maxsize=None)
+                def expensive(x):
+                    return x * 2
+
+                def caller():
+                    return expensive(3)
+                """,
+        })
+        assert edges(project, "repro.pkg.deco:caller") == [
+            ("repro.pkg.deco:expensive", "direct"),
+        ]
+        info = project.table.functions["repro.pkg.deco:expensive"]
+        assert "lru_cache" in info.decorators
+
+    def test_typed_attribute_call_resolves_through_ctor(self):
+        project = build({
+            "src/repro/pkg/owner.py": """
+                from repro.pkg.worker import Worker
+
+                class Owner:
+                    def __init__(self):
+                        self.worker = Worker()
+
+                    def go(self):
+                        return self.worker.step()
+                """,
+            "src/repro/pkg/worker.py": """
+                class Worker:
+                    def step(self):
+                        return 1
+                """,
+        })
+        assert ("repro.pkg.worker:Worker.step", "attr") in edges(
+            project, "repro.pkg.owner:Owner.go"
+        )
+
+    def test_string_annotation_types_an_attribute(self):
+        project = build({
+            "src/repro/pkg/ann.py": """
+                class Pool:
+                    def drain(self):
+                        return 0
+
+                class Stats:
+                    def __init__(self, pool: "Pool") -> None:
+                        self._pool = pool
+
+                    def tick(self):
+                        return self._pool.drain()
+                """,
+        })
+        assert edges(project, "repro.pkg.ann:Stats.tick") == [
+            ("repro.pkg.ann:Pool.drain", "attr"),
+        ]
+
+
+class TestImportResolution:
+    def test_from_import_with_alias(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                from repro.pkg.b import compute as c2
+
+                def go():
+                    return c2()
+                """,
+            "src/repro/pkg/b.py": """
+                def compute():
+                    return 1
+                """,
+        })
+        assert edges(project, "repro.pkg.a:go") == [
+            ("repro.pkg.b:compute", "direct"),
+        ]
+
+    def test_module_alias_attribute_call(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                import repro.pkg.b as helpers
+
+                def go():
+                    return helpers.compute()
+                """,
+            "src/repro/pkg/b.py": """
+                def compute():
+                    return 1
+                """,
+        })
+        assert edges(project, "repro.pkg.a:go") == [
+            ("repro.pkg.b:compute", "direct"),
+        ]
+
+    def test_external_module_calls_resolve_to_nothing(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                import numpy as np
+
+                def go():
+                    return np.zeros(3)
+                """,
+        })
+        assert edges(project, "repro.pkg.a:go") == []
+
+
+class TestDynamicFallback:
+    def test_untyped_receiver_falls_back_to_all_same_name_defs(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                class One:
+                    def process(self):
+                        return 1
+
+                class Two:
+                    def process(self):
+                        return 2
+
+                def go(thing):
+                    return thing.process()
+                """,
+        })
+        resolved = edges(project, "repro.pkg.a:go")
+        assert sorted(resolved) == [
+            ("repro.pkg.a:One.process", "dynamic"),
+            ("repro.pkg.a:Two.process", "dynamic"),
+        ]
+
+    def test_too_common_names_resolve_to_nothing(self):
+        classes = "\n".join(
+            f"class C{i}:\n    def handle(self):\n        return {i}\n"
+            for i in range(DYNAMIC_CANDIDATE_CAP + 1)
+        )
+        project = build({
+            "src/repro/pkg/a.py": classes + "\ndef go(x):\n    return x.handle()\n",
+        })
+        assert edges(project, "repro.pkg.a:go") == []
+
+    def test_blocking_primitives_never_resolve_to_project_methods(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                class Fake:
+                    def wait(self):
+                        return 1
+
+                def go(x):
+                    return x.wait(timeout=1)
+                """,
+        })
+        assert edges(project, "repro.pkg.a:go") == []
+
+
+class TestReverseDependencyClosure:
+    def test_closure_walks_callers_transitively(self):
+        project = build({
+            "src/repro/pkg/a.py": "def base():\n    return 1\n",
+            "src/repro/pkg/b.py": (
+                "from repro.pkg.a import base\n\n"
+                "def mid():\n    return base()\n"
+            ),
+            "src/repro/pkg/c.py": (
+                "from repro.pkg.b import mid\n\n"
+                "def top():\n    return mid()\n"
+            ),
+            "src/repro/pkg/unrelated.py": "def other():\n    return 0\n",
+        })
+        closure = project.graph.reverse_dependency_paths(
+            project.table, ["src/repro/pkg/a.py"]
+        )
+        assert closure == {
+            "src/repro/pkg/a.py",
+            "src/repro/pkg/b.py",
+            "src/repro/pkg/c.py",
+        }

@@ -1,0 +1,255 @@
+"""Effect-summary extraction and fixpoint propagation: blocking,
+lock acquisition, raise masking, grad reachability, toggle leaks,
+and the content-hash summary cache."""
+
+import textwrap
+
+from repro.analysis.dataflow import ProjectContext
+
+
+def build(files, cache_path=None):
+    return ProjectContext.build(
+        [(path, textwrap.dedent(source), None) for path, source in files.items()],
+        cache_path=cache_path,
+    )
+
+
+class TestBlocking:
+    def test_bare_wait_blocks_and_timeout_wait_does_not(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                def bad(cv):
+                    cv.wait()
+
+                def good(cv):
+                    cv.wait(timeout=1.0)
+                """,
+        })
+        assert project.summaries["repro.pkg.a:bad"].blocks
+        assert not project.summaries["repro.pkg.a:good"].blocks
+
+    def test_recv_is_always_unbounded(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                def pump(conn):
+                    return conn.recv()
+                """,
+        })
+        assert project.summaries["repro.pkg.a:pump"].blocks
+
+    def test_blocks_propagates_through_two_hops(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                def top(cv):
+                    return mid(cv)
+
+                def mid(cv):
+                    return leaf(cv)
+
+                def leaf(cv):
+                    cv.wait()
+                """,
+        })
+        assert project.summaries["repro.pkg.a:top"].blocks
+        chain = project.blocking_witness("repro.pkg.a:top")
+        assert [step.fid.split(":")[1] for step in chain] == ["top", "mid", "leaf"]
+        assert "wait() without timeout" in chain[-1].describe()
+
+
+class TestLockAcquisition:
+    def test_with_self_lock_records_class_scoped_token(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def touch(self):
+                        with self._lock:
+                            return 1
+                """,
+        })
+        assert project.summaries["repro.pkg.a:Box.touch"].acquires == {
+            "repro.pkg.a:Box._lock"
+        }
+
+    def test_condition_alias_canonicalises_to_underlying_lock(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._ready = threading.Condition(self._lock)
+
+                    def park(self):
+                        with self._ready:
+                            return 1
+                """,
+        })
+        assert project.summaries["repro.pkg.a:Box.park"].acquires == {
+            "repro.pkg.a:Box._lock"
+        }
+
+    def test_module_level_lock_token(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                import threading
+
+                _REGISTRY_LOCK = threading.Lock()
+
+                def mutate():
+                    with _REGISTRY_LOCK:
+                        return 1
+                """,
+        })
+        assert project.summaries["repro.pkg.a:mutate"].acquires == {
+            "repro.pkg.a:_REGISTRY_LOCK"
+        }
+
+
+class TestRaisePropagation:
+    def test_raises_propagate_and_subclass_handlers_mask(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                class AppError(Exception):
+                    pass
+
+                class OverflowyError(AppError):
+                    pass
+
+                def leaf():
+                    raise OverflowyError("full")
+
+                def masked():
+                    try:
+                        return leaf()
+                    except AppError:
+                        return None
+
+                def unmasked():
+                    try:
+                        return leaf()
+                    except ValueError:
+                        return None
+                """,
+        })
+        assert "OverflowyError" in project.summaries["repro.pkg.a:leaf"].raises
+        assert "OverflowyError" not in project.summaries["repro.pkg.a:masked"].raises
+        assert "OverflowyError" in project.summaries["repro.pkg.a:unmasked"].raises
+
+    def test_bare_reraise_handler_does_not_mask(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                def leaf():
+                    raise KeyError("missing")
+
+                def logged():
+                    try:
+                        return leaf()
+                    except KeyError:
+                        raise
+                """,
+        })
+        assert "KeyError" in project.summaries["repro.pkg.a:logged"].raises
+
+
+class TestGradAndToggles:
+    NN = """
+        class Encoder:
+            def forward(self, x):
+                return x
+        """
+
+    def test_serving_call_into_nn_forward_is_grad_reachable(self):
+        project = build({
+            "src/repro/nn/enc.py": self.NN,
+            "src/repro/serving/api.py": """
+                from repro.nn.enc import Encoder
+
+                class Service:
+                    def __init__(self):
+                        self.enc = Encoder()
+
+                    def infer(self, x):
+                        return self.enc.forward(x)
+                """,
+        })
+        assert project.summaries["repro.serving.api:Service.infer"].grad
+        chain = project.grad_witness("repro.serving.api:Service.infer")
+        assert "Encoder.forward" in chain[-1].label
+
+    def test_no_grad_at_the_call_site_masks_the_chain(self):
+        project = build({
+            "src/repro/nn/enc.py": self.NN,
+            "src/repro/serving/api.py": """
+                from repro.nn.enc import Encoder
+                from repro.nn.backprop import no_grad
+
+                class Service:
+                    def __init__(self):
+                        self.enc = Encoder()
+
+                    def infer(self, x):
+                        with no_grad():
+                            return self.enc.forward(x)
+                """,
+        })
+        assert not project.summaries["repro.serving.api:Service.infer"].grad
+
+    def test_unrestored_train_toggle_is_an_effect(self):
+        project = build({
+            "src/repro/pkg/a.py": """
+                def flip(model):
+                    model.train()
+                    return model
+
+                def safe(model):
+                    model.train()
+                    try:
+                        return model
+                    finally:
+                        model.eval()
+                """,
+        })
+        assert project.summaries["repro.pkg.a:flip"].toggles
+        assert not project.summaries["repro.pkg.a:safe"].toggles
+
+
+class TestSummaryCache:
+    FILES = {
+        "src/repro/pkg/a.py": """
+            def leaf(cv):
+                cv.wait()
+            """,
+        "src/repro/pkg/b.py": """
+            from repro.pkg.a import leaf
+
+            def top(cv):
+                return leaf(cv)
+            """,
+    }
+
+    def test_warm_cache_hits_every_file_and_preserves_summaries(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cold = build(self.FILES, cache_path=cache)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == 2
+
+        warm = build(self.FILES, cache_path=cache)
+        assert warm.cache_hits == 2
+        assert warm.cache_misses == 0
+        assert warm.summaries["repro.pkg.b:top"].blocks
+
+    def test_edited_file_misses_while_others_hit(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        build(self.FILES, cache_path=cache)
+
+        edited = dict(self.FILES)
+        edited["src/repro/pkg/a.py"] += "\n\ndef extra():\n    return 1\n"
+        warm = build(edited, cache_path=cache)
+        assert warm.cache_hits == 1
+        assert warm.cache_misses == 1

@@ -149,6 +149,85 @@ class TestRunLint:
         assert [f.name for f in files] == ["mod.py"]
 
 
+class TestUnusedSuppression:
+    def write(self, tmp_path, source):
+        target = tmp_path / "src" / "repro" / "serving" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(source)
+        return target
+
+    def test_dead_suppression_is_flagged(self, tmp_path):
+        self.write(tmp_path, "VALUE = 1  # repro: disable=inference-dtype\n")
+        result = run_lint(
+            [tmp_path / "src"], config=LintConfig(project_root=tmp_path),
+        )
+        assert [f.rule for f in result.findings] == ["unused-suppression"]
+        assert result.findings[0].symbol == "disable=inference-dtype"
+        assert result.findings[0].line == 1
+
+    def test_used_suppression_is_not_flagged(self, tmp_path):
+        self.write(
+            tmp_path,
+            "import numpy as np\n"
+            "x = np.float64(1.0)  # repro: disable=inference-dtype\n",
+        )
+        result = run_lint(
+            [tmp_path / "src"], config=LintConfig(project_root=tmp_path),
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_mid_comment_mention_is_not_a_suppression(self, tmp_path):
+        # The marker must start the comment; prose that merely mentions it
+        # neither suppresses nor counts as a dead suppression.
+        self.write(
+            tmp_path,
+            "import numpy as np\n"
+            "x = np.float64(1.0)  # see repro: disable=inference-dtype\n",
+        )
+        result = run_lint(
+            [tmp_path / "src"], config=LintConfig(project_root=tmp_path),
+        )
+        assert [f.rule for f in result.findings] == ["inference-dtype"]
+
+
+class TestChangedOnlyRestriction:
+    def tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "serving"
+        pkg.mkdir(parents=True)
+        (pkg / "a.py").write_text("def helper(x):\n    return x\n")
+        (pkg / "b.py").write_text(
+            "import numpy as np\n"
+            "from repro.serving.a import helper\n\n"
+            "def hot(x):\n"
+            "    return np.asarray(helper(x), dtype=np.float64)\n"
+        )
+        (pkg / "unrelated.py").write_text(
+            "import numpy as np\n\n"
+            "def other(x):\n"
+            "    return np.asarray(x, dtype=np.float64)\n"
+        )
+        return tmp_path / "src"
+
+    def test_restriction_expands_to_reverse_dependency_closure(self, tmp_path):
+        src = self.tree(tmp_path)
+        result = run_lint(
+            [src], config=LintConfig(project_root=tmp_path),
+            restrict_paths=["src/repro/serving/a.py"],
+        )
+        # b.py calls into the changed file, so it is re-linted; the equally
+        # dirty unrelated.py is out of the closure and stays unreported.
+        assert [f.path for f in result.findings] == ["src/repro/serving/b.py"]
+
+    def test_unrestricted_run_still_sees_everything(self, tmp_path):
+        src = self.tree(tmp_path)
+        result = run_lint([src], config=LintConfig(project_root=tmp_path))
+        assert sorted(f.path for f in result.findings) == [
+            "src/repro/serving/b.py",
+            "src/repro/serving/unrelated.py",
+        ]
+
+
 class TestReporters:
     def _result(self):
         return LintResult(

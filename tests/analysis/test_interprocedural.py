@@ -1,0 +1,378 @@
+"""The four interprocedural rules, on fixtures and on seeded real sources.
+
+The seeding tests are the acceptance criterion for the call-graph layer:
+re-introducing the PR 8 unbounded-``wait`` deadlock (reachable under a
+held lock through two call hops) and a synthetic AB/BA lock inversion
+into copies of the real sources must make ``scripts/run_lint.py`` exit
+non-zero with a full caller→…→site witness chain.
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis import LintConfig, lint_sources
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RUN_LINT = REPO_ROOT / "scripts" / "run_lint.py"
+
+
+def read(rel):
+    return (REPO_ROOT / rel).read_text(encoding="utf-8")
+
+
+def lint(files, rule, **options):
+    config = LintConfig(
+        enabled=[rule], project_root=REPO_ROOT,
+        rule_options={rule: options} if options else {},
+    )
+    return lint_sources(
+        {path: textwrap.dedent(source) for path, source in files.items()},
+        config=config,
+    )
+
+
+class TestBlockingUnderLock:
+    SCHEDULER = """
+        import threading
+
+        class Sched:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._ready = threading.Condition(self._lock)
+
+            def run(self):
+                with self._lock:
+                    self._drain()
+
+            def _drain(self):
+                self._park()
+
+            def _park(self):
+                self._ready.wait({wait_args})
+        """
+
+    def test_direct_blocking_site_under_lock(self):
+        findings = lint({
+            "src/repro/pkg/a.py": """
+                import threading
+
+                _LOCK = threading.Lock()
+
+                def pump(conn):
+                    with _LOCK:
+                        return conn.recv()
+                """,
+        }, "blocking-under-lock")
+        assert len(findings) == 1
+        assert findings[0].symbol == "pump"
+        assert "conn.recv() blocks without a timeout" in findings[0].message
+
+    def test_two_hop_chain_reported_with_witness(self):
+        findings = lint(
+            {"src/repro/pkg/a.py": self.SCHEDULER.format(wait_args="")},
+            "blocking-under-lock",
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.symbol == "Sched.run -> Sched._park"
+        assert "repro.pkg.a:Sched._lock" in finding.message
+        rendered = finding.describe()
+        # Full chain: run (holding the lock) -> _drain -> _park -> wait().
+        assert "calls _drain() holding" in rendered
+        assert "_park" in rendered
+        assert "wait() without timeout" in rendered
+
+    def test_bounded_wait_is_clean(self):
+        findings = lint(
+            {"src/repro/pkg/a.py": self.SCHEDULER.format(wait_args="timeout=1.0")},
+            "blocking-under-lock",
+        )
+        assert findings == []
+
+    def test_suppression_comment_silences_the_call_site(self):
+        source = self.SCHEDULER.format(wait_args="").replace(
+            "self._drain()",
+            "self._drain()  # repro: disable=blocking-under-lock",
+            1,
+        )
+        findings = lint({"src/repro/pkg/a.py": source}, "blocking-under-lock")
+        assert findings == []
+
+
+class TestLockOrder:
+    INVERTED = """
+        import threading
+
+        class Alpha:
+            def __init__(self, beta: "Beta"):
+                self._lock = threading.Lock()
+                self._beta = beta
+
+            def forward(self):
+                with self._lock:
+                    self._beta.touch()
+
+            def touch(self):
+                with self._lock:
+                    pass
+
+        class Beta:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._alpha = Alpha(self)
+
+            def touch(self):
+                with self._lock:
+                    pass
+
+            def reverse(self):
+                with self._lock:
+                    self._alpha.touch()
+        """
+
+    def test_ab_ba_inversion_reported_once_with_cycle_witness(self):
+        findings = lint({"src/repro/pkg/locks.py": self.INVERTED}, "lock-order")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert "Alpha._lock" in finding.symbol
+        assert "Beta._lock" in finding.symbol
+        rendered = finding.describe()
+        assert "while holding repro.pkg.locks:Alpha._lock" in rendered
+        assert "while holding repro.pkg.locks:Beta._lock" in rendered
+
+    def test_consistent_order_is_clean(self):
+        consistent = self.INVERTED.replace(
+            "def reverse(self):\n"
+            "                with self._lock:\n"
+            "                    self._alpha.touch()",
+            "def reverse(self):\n"
+            "                return None",
+        )
+        assert lint({"src/repro/pkg/locks.py": consistent}, "lock-order") == []
+
+
+class TestServingGradLeak:
+    NN = """
+        class Encoder:
+            def forward(self, x):
+                return x
+        """
+
+    def service(self, body):
+        return {
+            "src/repro/nn/enc.py": self.NN,
+            "src/repro/serving/api.py": textwrap.dedent("""
+                from repro.nn.enc import Encoder
+                from repro.nn.backprop import no_grad
+
+                class Service:
+                    def __init__(self):
+                        self.enc = Encoder()
+
+                """) + textwrap.indent(textwrap.dedent(body), "    "),
+        }
+
+    def test_public_entry_reaching_forward_is_flagged_once(self):
+        findings = lint(self.service("""
+            def infer(self, x):
+                return self._helper(x)
+
+            def _helper(self, x):
+                return self.enc.forward(x)
+            """), "serving-grad-leak")
+        # One leak, one report: the private helper appears only as a hop.
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.symbol.startswith("Service.infer")
+        assert "_helper" in finding.describe()
+
+    def test_no_grad_on_the_chain_is_clean(self):
+        findings = lint(self.service("""
+            def infer(self, x):
+                with no_grad():
+                    return self.enc.forward(x)
+            """), "serving-grad-leak")
+        assert findings == []
+
+
+class TestRouterExceptionTaxonomy:
+    def router(self, lookup_handler=""):
+        return {
+            "src/repro/serving/errors.py": """
+                class RejectedError(Exception):
+                    pass
+
+                class OverCapacityError(RejectedError):
+                    pass
+                """,
+            "src/repro/serving/router.py": """
+                from repro.serving.errors import OverCapacityError, RejectedError
+
+                class Router:
+                    def submit(self, key):
+                        if key is None:
+                            raise OverCapacityError("full")
+                        %s
+
+                    def _lookup(self, key):
+                        if key == "missing":
+                            raise KeyError(key)
+                        return key
+                """ % (lookup_handler or "return self._lookup(key)"),
+        }
+
+    def test_undocumented_escape_is_flagged_with_chain(self):
+        findings = lint(self.router(), "router-exception-taxonomy")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.symbol == "Router.submit -> KeyError"
+        # RejectedError subclasses are allowed; only KeyError escapes.
+        assert "OverCapacityError" not in finding.symbol
+        assert "_lookup" in finding.describe()
+
+    def test_wrapping_into_the_taxonomy_is_clean(self):
+        wrapped = (
+            "try:\n"
+            "                            return self._lookup(key)\n"
+            "                        except KeyError as exc:\n"
+            "                            raise RejectedError(str(exc))"
+        )
+        findings = lint(self.router(wrapped), "router-exception-taxonomy")
+        assert findings == []
+
+
+class TestLockDisciplineInterprocedural:
+    BOX = (
+        "import threading\n"
+        "\n"
+        "class Box:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._items = []\n"
+        "\n"
+        "    def _append_locked(self, item):\n"
+        "        self._items.append(item)\n"
+        "\n"
+        "    def add(self, item):\n"
+        "        with self._lock:\n"
+        "            self._append_locked(item)\n"
+        "{extra}"
+    )
+
+    def test_locked_suffix_callee_requires_a_held_lock(self):
+        source = self.BOX.format(extra=(
+            "\n    def bad_add(self, item):\n"
+            "        self._append_locked(item)\n"
+        ))
+        findings = lint({"src/repro/pkg/box.py": source}, "lock-discipline")
+        assert any(
+            "_append_locked" in f.message and "bad_add" in f.symbol
+            for f in findings
+        )
+
+    def test_all_callers_locked_is_clean(self):
+        findings = lint(
+            {"src/repro/pkg/box.py": self.BOX.format(extra="")},
+            "lock-discipline",
+        )
+        assert findings == []
+
+
+class TestSeededRealSources:
+    """Acceptance: seeded historical bugs fail the CLI gate with chains."""
+
+    def run_gate(self, seeded_path, rule):
+        return subprocess.run(
+            [sys.executable, str(RUN_LINT), str(seeded_path),
+             "--no-baseline", "--rules", rule],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+
+    def test_pr8_unbounded_wait_two_hops_under_lock(self, tmp_path):
+        # PR 8's scheduler deadlock, but buried two private helpers deep:
+        # _run holds self._lock and calls _drain_quiet -> _park_for_work,
+        # which waits with no timeout.  Only the interprocedural rule can
+        # connect the lock at the top to the park at the bottom.
+        source = read("src/repro/serving/service.py")
+        helpers = (
+            "    def _drain_quiet(self) -> None:\n"
+            "        self._park_for_work()\n"
+            "\n"
+            "    def _park_for_work(self) -> None:\n"
+            "        self._work_ready.wait()\n"
+            "\n"
+            "    def _run(self) -> None:\n"
+        )
+        seeded = source.replace("    def _run(self) -> None:\n", helpers, 1)
+        seeded = seeded.replace(
+            "                    self._work_ready.wait("
+            "timeout=SCHEDULER_HEARTBEAT_SECONDS)",
+            "                    self._drain_quiet()",
+            1,
+        )
+        assert seeded != source
+        target = tmp_path / "src" / "repro" / "serving" / "service.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(seeded)
+
+        proc = self.run_gate(target, "blocking-under-lock")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert ": blocking-under-lock: " in proc.stdout
+        # The diagnostic walks the whole chain, not just the wait site.
+        assert "calls _drain_quiet() holding" in proc.stdout
+        assert "_park_for_work" in proc.stdout
+        assert "wait() without timeout" in proc.stdout
+
+    def test_synthetic_ab_ba_inversion_in_cluster(self, tmp_path):
+        # ClusterStats locks then calls into ReplicaPool (stats -> pool)
+        # while ReplicaPool locks then calls back into ClusterStats
+        # (pool -> stats): a classic AB/BA inversion across two classes
+        # that already share object references in the real code.
+        source = read("src/repro/serving/cluster.py")
+        stats_seed = (
+            "    def seeded_touch(self) -> None:\n"
+            "        with self._lock:\n"
+            "            pass\n"
+            "\n"
+            "    def seeded_reverse(self) -> None:\n"
+            "        with self._lock:\n"
+            "            self._pool.seeded_drain()\n"
+            "\n"
+            '    def __init__(self, pool: "ReplicaPool") -> None:\n'
+        )
+        seeded = source.replace(
+            '    def __init__(self, pool: "ReplicaPool") -> None:\n',
+            stats_seed, 1,
+        )
+        pool_seed = (
+            "    def seeded_drain(self) -> None:\n"
+            "        with self._lock:\n"
+            "            pass\n"
+            "\n"
+            "    def seeded_forward(self) -> None:\n"
+            "        self._stats_ref = ClusterStats(self)\n"
+            "        with self._lock:\n"
+            "            self._stats_ref.seeded_touch()\n"
+            "\n"
+            "    def __len__(self) -> int:\n"
+        )
+        pool_start = seeded.index("class ReplicaPool")
+        insert_at = seeded.index("    def __len__(self) -> int:\n", pool_start)
+        seeded = (
+            seeded[:insert_at]
+            + pool_seed
+            + seeded[insert_at + len("    def __len__(self) -> int:\n"):]
+        )
+        assert seeded != source
+        target = tmp_path / "src" / "repro" / "serving" / "cluster.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(seeded)
+
+        proc = self.run_gate(target, "lock-order")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert ": lock-order: " in proc.stdout
+        assert "lock-order inversion" in proc.stdout
+        assert "ClusterStats._lock" in proc.stdout
+        assert "ReplicaPool._lock" in proc.stdout
