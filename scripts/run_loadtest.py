@@ -124,7 +124,12 @@ def build_service(args: argparse.Namespace):
         world: split_domain(corpus, world, seed_size=30, dev_size=20).test
         for world in worlds
     }
-    index = blink.biencoder.build_sharded_index(entities, lazy=False)
+    backend = None
+    if args.approximate:
+        from repro.index import IVFBackend
+
+        backend = IVFBackend(nprobe=args.nprobe, codec=args.codec)
+    index = blink.biencoder.build_sharded_index(entities, lazy=False, backend=backend)
     pipeline = EntityLinkingPipeline(
         blink.biencoder, index, blink.crossencoder,
         k=args.k, rerank=not args.no_rerank, batch_size=args.batch_size,
@@ -195,6 +200,15 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="service max_batch_size (and pipeline micro-batch)")
     parser.add_argument("--max-wait-ms", type=float, default=25.0,
                         help="service latency-bound flush timer")
+    parser.add_argument("--approximate", action="store_true",
+                        help="serve candidate generation through the IVF "
+                             "approximate backend (repro.index) instead of "
+                             "the exact reference index")
+    parser.add_argument("--nprobe", type=int, default=8,
+                        help="IVF cells probed per query (with --approximate)")
+    parser.add_argument("--codec", default="float64",
+                        choices=("float64", "float16", "int8"),
+                        help="embedding storage codec (with --approximate)")
     parser.add_argument("--entities-per-domain", type=int, default=24)
     parser.add_argument("--mentions-per-domain", type=int, default=120)
     parser.add_argument("--request-timeout", type=float, default=30.0,
@@ -285,6 +299,8 @@ def main(argv=None) -> int:
         "replicas": args.replicas, "process_replicas": args.process_replicas,
         "entities_per_domain": args.entities_per_domain,
         "mentions_per_domain": args.mentions_per_domain,
+        "approximate": args.approximate,
+        "nprobe": args.nprobe, "codec": args.codec,
     }
     payload = results_payload(results, config=config)
     write_json(results, args.output, config=config)

@@ -29,6 +29,7 @@ from .baselines import (
 from .harness import LoadHarness, ScenarioResult
 from .report import attach_slo, render_markdown, results_payload, write_json
 from .slo import SLOCheck, SLOReport, SLOSpec, load_slo_file
+from .synthetic import DEFAULT_NOISE, alias_entity, enlarge_kb, synthetic_kb
 from .workloads import (
     BurstyArrivals,
     ClosedLoopArrivals,
@@ -64,9 +65,11 @@ __all__ = [
     "UniformMentionSampler",
     "Workload",
     "ZipfMentionSampler",
+    "alias_entity",
     "attach_slo",
     "cluster_scenario_catalogue",
     "compare",
+    "enlarge_kb",
     "flatten_metrics",
     "load_all_baselines",
     "load_bench",
@@ -76,5 +79,6 @@ __all__ = [
     "render_markdown",
     "results_payload",
     "scenario_catalogue",
+    "synthetic_kb",
     "write_json",
 ]

@@ -36,6 +36,7 @@ BENCH_FILES = (
     "BENCH_load.json",
     "BENCH_cluster.json",
     "BENCH_lint.json",
+    "BENCH_index.json",
 )
 
 #: Key substrings marking a metric where *smaller* is better.
@@ -46,7 +47,7 @@ LOWER_IS_BETTER = (
 #: Key substrings marking a metric where *larger* is better.
 HIGHER_IS_BETTER = (
     "per_second", "throughput", "accuracy", "_vs_", "speedup", "completed",
-    "availability",
+    "availability", "recall", "_qps",
 )
 
 #: Key substrings that are never gated: configuration, sample counts, ids,

@@ -1,7 +1,13 @@
 """Evaluation harness: metrics, protocol, experiment runners and reporting."""
 
 from .experiments import ExperimentSuite, small_experiment_config
-from .metrics import LinkingMetrics, accuracy_from_predictions, compute_metrics, macro_average
+from .metrics import (
+    LinkingMetrics,
+    accuracy_from_predictions,
+    compute_metrics,
+    macro_average,
+    recall_at_k,
+)
 from .protocol import (
     EvaluationResult,
     evaluate_meta_trainer,
@@ -15,6 +21,7 @@ __all__ = [
     "compute_metrics",
     "accuracy_from_predictions",
     "macro_average",
+    "recall_at_k",
     "EvaluationResult",
     "evaluate_pipeline",
     "evaluate_meta_trainer",

@@ -80,6 +80,47 @@ def accuracy_from_predictions(
     return 100.0 * hits / len(labelled)
 
 
+def recall_at_k(
+    approx_results: Sequence[Sequence[str]],
+    exact_results: Sequence[Sequence[str]],
+    k: Optional[int] = None,
+) -> float:
+    """Approximate-vs-exact retrieval recall: overlap fraction at cutoff ``k``.
+
+    For each query, the fraction of the *exact* top-k candidate ids that the
+    approximate retriever also returned (order-insensitive), averaged over
+    queries.  This is the quality metric of an approximate index — 1.0 means
+    every probed cell contained the true top-k — distinct from the gold-based
+    Recall@k of :func:`compute_metrics`, which measures the embedding model.
+
+    Results may be :class:`~repro.linking.candidates.RetrievalResult` objects
+    (their ``entity_ids`` are used) or plain id sequences.  ``k=None`` uses
+    each exact result's full length.  Queries whose exact result is empty are
+    skipped; if every exact result is empty the recall is defined as 1.0
+    (the approximate index missed nothing).
+    """
+    if len(approx_results) != len(exact_results):
+        raise ValueError("approximate and exact result lists must align")
+
+    def ids(result: object) -> Sequence[str]:
+        return getattr(result, "entity_ids", result)  # type: ignore[return-value]
+
+    total = 0.0
+    counted = 0
+    for approx, exact in zip(approx_results, exact_results):
+        exact_ids = list(ids(exact))
+        if k is not None:
+            exact_ids = exact_ids[:k]
+        if not exact_ids:
+            continue
+        approx_ids = set(ids(approx) if k is None else list(ids(approx))[:k])
+        total += len(approx_ids.intersection(exact_ids)) / len(exact_ids)
+        counted += 1
+    if counted == 0:
+        return 1.0
+    return total / counted
+
+
 def macro_average(metrics: Sequence[LinkingMetrics]) -> LinkingMetrics:
     """Unweighted mean of several metric sets (used for cross-domain averages)."""
     if not metrics:

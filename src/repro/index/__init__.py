@@ -1,0 +1,83 @@
+"""Approximate + quantized retrieval for million-entity knowledge bases.
+
+``repro.index`` is the storage and retrieval foundation beneath the exact
+:mod:`repro.linking.candidates` layer:
+
+* :mod:`~repro.index.codecs` — int8 / float16 / float64 embedding storage
+  codecs; quantized matrices decode per-row, so they pair with
+  memory-mapped snapshots (only probed pages are ever read).
+* :mod:`~repro.index.ivf` — :class:`IVFShard`: coarse k-means cells with an
+  exact re-scoring pass, online mutation through an exact pending tail, and
+  lock-free atomic-swap :meth:`~IVFShard.compact`.
+* :mod:`~repro.index.backend` — :class:`ExactBackend` / :class:`IVFBackend`
+  plugged into :class:`~repro.linking.candidates.ShardedEntityIndex`; the
+  exact index stays the reference, IVF is opt-in.
+* :mod:`~repro.index.snapshot` — generation store with an atomic
+  ``CURRENT`` pointer swap for online compaction under serving.
+
+Quickstart::
+
+    from repro.index import IVFBackend, write_generation
+
+    index = biencoder.build_sharded_index(entities, backend=IVFBackend(
+        nprobe=8, codec="int8"))
+    index.search(queries, k=64)                    # probe + exact re-score
+    index.add_entities(new_entities)               # linkable immediately
+    write_generation(index, "snapshots/kb", codec="int8")
+    restored = biencoder.load_sharded_index("snapshots/kb", mmap=True)
+"""
+
+from .backend import ExactBackend, IVFBackend
+from .codecs import (
+    CODECS,
+    Float16Storage,
+    Float64Storage,
+    Int8Storage,
+    UnknownCodecError,
+    VectorStorage,
+    as_storage,
+    encode_matrix,
+    storage_codec,
+    storage_from_arrays,
+)
+from .ivf import (
+    DEFAULT_KMEANS_ITERS,
+    DEFAULT_NPROBE,
+    IVFShard,
+    default_num_cells,
+    kmeans,
+)
+from .snapshot import (
+    CURRENT_MARKER,
+    compact_to_generation,
+    current_generation,
+    list_generations,
+    next_generation_number,
+    write_generation,
+)
+
+__all__ = [
+    "CODECS",
+    "CURRENT_MARKER",
+    "DEFAULT_KMEANS_ITERS",
+    "DEFAULT_NPROBE",
+    "ExactBackend",
+    "Float16Storage",
+    "Float64Storage",
+    "IVFBackend",
+    "IVFShard",
+    "Int8Storage",
+    "UnknownCodecError",
+    "VectorStorage",
+    "as_storage",
+    "compact_to_generation",
+    "current_generation",
+    "default_num_cells",
+    "encode_matrix",
+    "kmeans",
+    "list_generations",
+    "next_generation_number",
+    "storage_codec",
+    "storage_from_arrays",
+    "write_generation",
+]

@@ -1,0 +1,77 @@
+"""Pluggable shard backends for :class:`~repro.linking.candidates.ShardedEntityIndex`.
+
+A backend decides what one materialised shard *is*: the exact reference
+:class:`~repro.linking.candidates.EntityIndex`, or the approximate
+:class:`~repro.index.ivf.IVFShard`.  The sharded index stays the routing /
+merging / persistence layer; backends only build the per-shard search
+structure from ``(entities, vectors)``:
+
+    from repro.index import IVFBackend
+    index = biencoder.build_sharded_index(entities, backend=IVFBackend(nprobe=8))
+    index.search(queries, k=64)          # IVF probe + exact re-score
+
+Passing no backend keeps today's behaviour bit-for-bit: the exact index is
+the reference implementation, the approximate layer is strictly opt-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..kb.entity import Entity
+from ..linking.candidates import EntityIndex
+from .codecs import VectorStorage
+from .ivf import DEFAULT_KMEANS_ITERS, DEFAULT_NPROBE, IVFShard
+
+
+@dataclass(frozen=True)
+class ExactBackend:
+    """Builds the exact blocked-top-k :class:`EntityIndex` (the default)."""
+
+    name: str = "exact"
+
+    def build(
+        self,
+        entities: Sequence[Entity],
+        vectors: Union[np.ndarray, VectorStorage],
+        block_size: int,
+    ) -> EntityIndex:
+        if isinstance(vectors, VectorStorage):
+            vectors = vectors.to_dense()
+        return EntityIndex(entities, vectors, block_size=block_size)
+
+
+@dataclass(frozen=True)
+class IVFBackend:
+    """Builds :class:`IVFShard` shards: k-means cells + exact re-scoring.
+
+    Parameters mirror :class:`IVFShard`; ``num_cells=None`` picks
+    ``~sqrt(shard_size)`` per shard, so one backend instance serves shards
+    of very different sizes sensibly.
+    """
+
+    num_cells: Optional[int] = None
+    nprobe: int = DEFAULT_NPROBE
+    codec: str = "float64"
+    seed: int = 0
+    kmeans_iters: int = DEFAULT_KMEANS_ITERS
+    name: str = "ivf"
+
+    def build(
+        self,
+        entities: Sequence[Entity],
+        vectors: Union[np.ndarray, VectorStorage],
+        block_size: int,
+    ) -> IVFShard:
+        return IVFShard(
+            entities,
+            vectors,
+            num_cells=self.num_cells,
+            nprobe=self.nprobe,
+            codec=self.codec,
+            seed=self.seed,
+            kmeans_iters=self.kmeans_iters,
+        )

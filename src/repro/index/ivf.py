@@ -1,0 +1,698 @@
+"""IVF-style approximate shard: coarse k-means cells + exact re-scoring.
+
+The exact :class:`~repro.linking.candidates.EntityIndex` scores every entity
+for every query — perfect at 521 entities, impossible at millions.
+:class:`IVFShard` is the approximate drop-in for one
+:class:`~repro.linking.candidates.ShardedEntityIndex` shard:
+
+1. **Coarse stage** — entity embeddings are clustered into ``num_cells``
+   k-means cells (seeded, deterministic).  A query scores only the
+   ``num_cells`` centroids and probes the best ``nprobe`` cells.
+2. **Re-scoring stage** — the entities of the probed cells are re-scored
+   with *exact* inner products against the stored embeddings (decoded from
+   the shard's codec), so the final ranking is exact over the candidate set
+   and quality is a pure recall question: did the probed cells contain the
+   true top-k?  ``nprobe == num_cells`` degenerates to the exact index.
+
+Both stages are vectorized over the whole query batch: one centroid matmul,
+one ragged gather of every probed cell, one fused ``einsum`` re-score and
+one ``lexsort`` top-k — no per-query model math in Python.
+
+**Online mutation** routes through a small exact *pending tail*:
+:meth:`add` / :meth:`update` append to an in-RAM float64 tail that every
+search scans alongside the IVF lists (new entities are linkable
+immediately, no re-clustering on the hot path); :meth:`remove` tombstones.
+:meth:`compact` folds the tail and drops tombstones into a freshly
+re-clustered generation and atomically swaps it in — searches never lock,
+they read one immutable state snapshot per call.
+
+Determinism: k-means init and iteration are driven by a seeded generator,
+candidate ordering ties break by (score desc, position asc), and positions
+are stable between compactions, so repeated searches of an unchanged shard
+return identical rankings.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..kb.entity import Entity
+from ..linking.candidates import RetrievalResult
+from .codecs import VectorStorage, as_storage, encode_matrix, storage_from_arrays
+
+#: Default number of probed cells per query.
+DEFAULT_NPROBE = 8
+
+#: Default Lloyd iterations for the coarse clustering.
+DEFAULT_KMEANS_ITERS = 8
+
+
+def default_num_cells(num_entities: int) -> int:
+    """The usual IVF heuristic: ~sqrt(N) cells, at least 1, at most N."""
+    if num_entities <= 0:
+        return 1
+    return max(1, min(num_entities, int(round(float(np.sqrt(num_entities))))))
+
+
+def kmeans(
+    vectors: np.ndarray,
+    num_cells: int,
+    seed: int = 0,
+    iters: int = DEFAULT_KMEANS_ITERS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Seeded deterministic Lloyd k-means.
+
+    Returns ``(centroids, assignments)``.  Initialisation draws ``num_cells``
+    distinct rows with a seeded generator; empty cells are re-seeded each
+    iteration to the points currently worst-served by their centroid, so no
+    cell stays empty while there are enough points — both choices are
+    deterministic functions of ``(vectors, num_cells, seed)``.
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    n = len(vectors)
+    if n == 0:
+        raise ValueError("cannot cluster zero vectors")
+    k = max(1, min(num_cells, n))
+    rng = np.random.default_rng(seed)
+    centroids = vectors[np.sort(rng.choice(n, size=k, replace=False))].copy()
+
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(max(1, iters)):
+        # Nearest centroid under L2: argmin |c|^2 - 2 v.c (|v|^2 constant).
+        scores = vectors @ centroids.T
+        norms = np.einsum("cd,cd->c", centroids, centroids)
+        assignments = np.argmin(norms[None, :] - 2.0 * scores, axis=1)
+        counts = np.bincount(assignments, minlength=k)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assignments, vectors)
+        filled = counts > 0
+        centroids[filled] = sums[filled] / counts[filled, None]
+        empty = np.flatnonzero(~filled)
+        if empty.size:
+            # Re-seed each empty cell with the point farthest from its
+            # current centroid (deterministic: distances then position).
+            own = np.take_along_axis(
+                norms[None, :] - 2.0 * scores, assignments[:, None], axis=1
+            ).ravel()
+            worst = np.argsort(-own, kind="stable")[: empty.size]
+            centroids[empty] = vectors[worst]
+    return centroids, assignments
+
+
+def _invert_assignments(
+    assignments: np.ndarray, num_cells: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build concatenated inverted lists: (members, offsets).
+
+    ``members[offsets[c]:offsets[c+1]]`` holds the positions of cell ``c``
+    in ascending position order (stable sort), so list layout is
+    deterministic.
+    """
+    members = np.argsort(assignments, kind="stable").astype(np.int64)
+    counts = np.bincount(assignments, minlength=num_cells)
+    offsets = np.zeros(num_cells + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return members, offsets
+
+
+@dataclass(frozen=True)
+class _IVFState:
+    """One immutable generation of an IVF shard.
+
+    Searches read a single reference to this object; mutations build a new
+    state (copy-on-write of the parts they touch) and atomically swap the
+    reference, so a search never observes a half-applied mutation.
+
+    Positions are *stable*: main entities keep their row position for the
+    lifetime of a generation (removals tombstone via ``main_alive``), and
+    pending entities occupy ``len(main) + j`` with ``j`` append-only
+    (removals tombstone via ``pending_alive``).  :meth:`IVFShard.compact`
+    starts a new generation with fresh positions.
+    """
+
+    centroids: np.ndarray          # (num_cells, dim) float64
+    members: np.ndarray            # (num_main,) int64 concatenated cell lists
+    offsets: np.ndarray            # (num_cells + 1,) int64
+    storage: VectorStorage         # main embeddings (possibly quantized/mmap)
+    main_entities: Tuple[Entity, ...]
+    main_alive: np.ndarray         # (num_main,) bool
+    pending_entities: Tuple[Entity, ...]
+    pending_vectors: np.ndarray    # (num_pending, dim) float64, exact
+    pending_alive: np.ndarray      # (num_pending,) bool
+    generation: int = 0
+    id_to_position: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_main(self) -> int:
+        return len(self.main_entities)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.centroids)
+
+    def alive_count(self) -> int:
+        return int(self.main_alive.sum()) + int(self.pending_alive.sum())
+
+    def entity_at(self, position: int) -> Entity:
+        if position < self.num_main:
+            return self.main_entities[position]
+        return self.pending_entities[position - self.num_main]
+
+    def vector_at(self, position: int) -> np.ndarray:
+        if position < self.num_main:
+            return self.storage.take(np.asarray([position]))[0]
+        return np.asarray(self.pending_vectors[position - self.num_main],
+                          dtype=np.float64)
+
+
+def _empty_pending(dim: int) -> Tuple[Tuple[Entity, ...], np.ndarray, np.ndarray]:
+    return (), np.zeros((0, dim), dtype=np.float64), np.zeros(0, dtype=bool)
+
+
+class IVFShard:
+    """Approximate MIPS shard: coarse k-means probe + exact re-scoring.
+
+    Implements the same search/lookup surface as
+    :class:`~repro.linking.candidates.EntityIndex` (``search_arrays``,
+    ``search``, ``entity``, ``vector``, ``entity_id_at``, ``__len__``,
+    ``__contains__``), so a :class:`ShardedEntityIndex` can hold exact and
+    IVF shards interchangeably.
+
+    Parameters
+    ----------
+    entities, vectors:
+        The shard content.  ``vectors`` may be a raw float64 matrix (also
+        memory-mapped) or a pre-encoded :class:`VectorStorage`.
+    num_cells:
+        Coarse cells; default ``~sqrt(len(entities))``.
+    nprobe:
+        Cells probed per query (clamped to ``num_cells``).  ``nprobe ==
+        num_cells`` searches exhaustively — exact-parity mode.
+    codec:
+        Storage codec applied when ``vectors`` is a raw matrix
+        (``float64`` / ``float16`` / ``int8``).
+    seed, kmeans_iters:
+        Clustering determinism knobs.
+    """
+
+    def __init__(
+        self,
+        entities: Sequence[Entity],
+        vectors: Union[np.ndarray, VectorStorage],
+        num_cells: Optional[int] = None,
+        nprobe: int = DEFAULT_NPROBE,
+        codec: str = "float64",
+        seed: int = 0,
+        kmeans_iters: int = DEFAULT_KMEANS_ITERS,
+    ) -> None:
+        entities = list(entities)
+        if len(entities) == 0:
+            raise ValueError("cannot build an IVF shard over zero entities")
+        if nprobe <= 0:
+            raise ValueError("nprobe must be positive")
+        self.nprobe = nprobe
+        self.codec = codec
+        self.seed = seed
+        self.kmeans_iters = kmeans_iters
+        #: The *configured* cell count (None = sqrt heuristic); compact()
+        #: re-applies it so an explicitly sized shard stays that size.
+        self.num_cells_config = num_cells
+        self._lock = threading.Lock()
+
+        if isinstance(vectors, VectorStorage):
+            storage = vectors
+            dense_for_kmeans = None
+        else:
+            dense = np.asarray(vectors, dtype=np.float64)
+            if len(dense) != len(entities):
+                raise ValueError("entities and vectors must align")
+            storage = dense if codec == "float64" else None
+            dense_for_kmeans = dense
+        if isinstance(storage, np.ndarray):
+            storage = as_storage(storage)
+        elif storage is None:
+            storage = encode_matrix(dense_for_kmeans, codec)
+        if len(storage) != len(entities):
+            raise ValueError("entities and vectors must align")
+        self.codec = storage.codec
+
+        cells = default_num_cells(len(entities)) if num_cells is None else num_cells
+        cells = max(1, min(cells, len(entities)))
+        # Cluster on the decoded embeddings so cell geometry matches what
+        # re-scoring sees (quantization shifts points slightly).
+        cluster_input = (
+            dense_for_kmeans
+            if dense_for_kmeans is not None and storage.codec == "float64"
+            else storage.to_dense()
+        )
+        centroids, assignments = kmeans(
+            cluster_input, cells, seed=seed, iters=kmeans_iters
+        )
+        members, offsets = _invert_assignments(assignments, len(centroids))
+        self._state = _IVFState(
+            centroids=centroids,
+            members=members,
+            offsets=offsets,
+            storage=storage,
+            main_entities=tuple(entities),
+            main_alive=np.ones(len(entities), dtype=bool),
+            pending_entities=(),
+            pending_vectors=np.zeros((0, storage.dim), dtype=np.float64),
+            pending_alive=np.zeros(0, dtype=bool),
+            generation=0,
+            id_to_position={
+                entity.entity_id: position
+                for position, entity in enumerate(entities)
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._state.alive_count()
+
+    @property
+    def dimension(self) -> int:
+        return self._state.storage.dim
+
+    @property
+    def generation(self) -> int:
+        """Compaction generation (0 for a freshly built shard)."""
+        return self._state.generation
+
+    @property
+    def num_cells(self) -> int:
+        return self._state.num_cells
+
+    @property
+    def num_pending(self) -> int:
+        """Alive entities in the exact pending tail (0 after compact)."""
+        return int(self._state.pending_alive.sum())
+
+    @property
+    def num_tombstones(self) -> int:
+        state = self._state
+        return int((~state.main_alive).sum()) + int((~state.pending_alive).sum())
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._state.id_to_position
+
+    def entities(self) -> List[Entity]:
+        """Alive entities: main (position order) then pending tail."""
+        state = self._state
+        out = [e for pos, e in enumerate(state.main_entities) if state.main_alive[pos]]
+        out.extend(
+            e for j, e in enumerate(state.pending_entities) if state.pending_alive[j]
+        )
+        return out
+
+    def entity(self, entity_id: str) -> Entity:
+        state = self._state
+        return state.entity_at(state.id_to_position[entity_id])
+
+    def entity_id_at(self, position: int) -> str:
+        return self._state.entity_at(int(position)).entity_id
+
+    def vector(self, entity_id: str) -> np.ndarray:
+        """Current embedding of one entity (decoded from storage or tail)."""
+        state = self._state
+        return state.vector_at(state.id_to_position[entity_id])
+
+    def stats(self) -> Dict[str, object]:
+        state = self._state
+        return {
+            "backend": "ivf",
+            "codec": state.storage.codec,
+            "num_cells": state.num_cells,
+            "nprobe": min(self.nprobe, state.num_cells),
+            "entities": state.alive_count(),
+            "pending": self.num_pending,
+            "tombstones": self.num_tombstones,
+            "generation": state.generation,
+            "storage_bytes": state.storage.nbytes,
+        }
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search_arrays(
+        self, query_vectors: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k ``(scores, positions)`` per query over the probed cells.
+
+        Fully vectorized over the batch: centroid scoring, ragged gather of
+        every probed cell, one fused re-score, one lexsort.  Rows sorted by
+        decreasing score, ties broken by ascending position; rows with fewer
+        than ``k`` candidates are padded with ``-inf`` / position ``-1``.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        state = self._state  # one read: the whole search sees one generation
+        queries = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
+        num_queries = len(queries)
+
+        cand_rows, cand_positions = self._gather_candidates(state, queries)
+        if cand_positions.size == 0:
+            return (
+                np.full((num_queries, 0), -np.inf),
+                np.full((num_queries, 0), -1, dtype=np.int64),
+            )
+
+        # Exact re-scoring: decode only the candidate rows, score each
+        # against its own query in one fused product.
+        main_mask = cand_positions < state.num_main
+        vectors = np.empty((len(cand_positions), state.storage.dim))
+        if main_mask.any():
+            vectors[main_mask] = state.storage.take(cand_positions[main_mask])
+        if (~main_mask).any():
+            vectors[~main_mask] = state.pending_vectors[
+                cand_positions[~main_mask] - state.num_main
+            ]
+        scores = np.einsum("td,td->t", vectors, queries[cand_rows])
+
+        # Per-query top-k over the ragged candidate groups: order rows by
+        # (query, score desc, position asc) and keep the first k per group.
+        order = np.lexsort((cand_positions, -scores, cand_rows))
+        sorted_rows = cand_rows[order]
+        group_starts = np.searchsorted(sorted_rows, np.arange(num_queries))
+        rank_in_group = np.arange(len(order)) - group_starts[sorted_rows]
+        keep = rank_in_group < k
+        kept = order[keep]
+        kept_rows = cand_rows[kept]
+        kept_rank = rank_in_group[keep]
+
+        width = min(k, int(np.bincount(kept_rows, minlength=num_queries).max()))
+        out_scores = np.full((num_queries, width), -np.inf)
+        out_positions = np.full((num_queries, width), -1, dtype=np.int64)
+        out_scores[kept_rows, kept_rank] = scores[kept]
+        out_positions[kept_rows, kept_rank] = cand_positions[kept]
+        return out_scores, out_positions
+
+    def _gather_candidates(
+        self, state: _IVFState, queries: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat ``(query_row, candidate_position)`` pairs for the batch.
+
+        Probes the top ``nprobe`` centroids per query, expands their
+        inverted lists with a vectorized ragged gather, filters tombstones
+        and appends the alive pending tail to every query's candidates.
+        """
+        num_queries = len(queries)
+        nprobe = min(self.nprobe, state.num_cells)
+
+        rows_parts: List[np.ndarray] = []
+        positions_parts: List[np.ndarray] = []
+        if state.num_main:
+            if nprobe >= state.num_cells:
+                probe = np.broadcast_to(
+                    np.arange(state.num_cells, dtype=np.int64),
+                    (num_queries, state.num_cells),
+                )
+            else:
+                cell_scores = queries @ state.centroids.T
+                probe = np.argpartition(-cell_scores, nprobe - 1, axis=1)[:, :nprobe]
+            starts = state.offsets[probe].ravel()
+            lengths = (state.offsets[probe + 1] - state.offsets[probe]).ravel()
+            total = int(lengths.sum())
+            if total:
+                # Ragged ranges: members[starts[i] : starts[i]+lengths[i]]
+                # for every probed cell, without a Python loop.
+                ends = np.cumsum(lengths)
+                flat = np.arange(total, dtype=np.int64) + np.repeat(
+                    starts - (ends - lengths), lengths
+                )
+                positions = state.members[flat]
+                rows = np.repeat(
+                    np.arange(num_queries, dtype=np.int64),
+                    lengths.reshape(num_queries, -1).sum(axis=1),
+                )
+                alive = state.main_alive[positions]
+                rows_parts.append(rows[alive])
+                positions_parts.append(positions[alive])
+        if state.pending_alive.any():
+            tail = state.num_main + np.flatnonzero(state.pending_alive).astype(np.int64)
+            rows_parts.append(
+                np.repeat(np.arange(num_queries, dtype=np.int64), len(tail))
+            )
+            positions_parts.append(np.tile(tail, num_queries))
+        if not rows_parts:
+            return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        return np.concatenate(rows_parts), np.concatenate(positions_parts)
+
+    def search(self, query_vectors: np.ndarray, k: int) -> List[RetrievalResult]:
+        """Top-k approximate search returning :class:`RetrievalResult` rows."""
+        state = self._state
+        scores, positions = self.search_arrays(query_vectors, k)
+        results: List[RetrievalResult] = []
+        for row_scores, row_positions in zip(scores, positions):
+            valid = row_positions >= 0
+            results.append(
+                RetrievalResult(
+                    entity_ids=[
+                        state.entity_at(int(p)).entity_id
+                        for p in row_positions[valid]
+                    ],
+                    scores=[float(s) for s in row_scores[valid]],
+                )
+            )
+        return results
+
+    def retrieve_entities(
+        self, query_vectors: np.ndarray, k: int
+    ) -> List[List[Entity]]:
+        state = self._state
+        _, positions = self.search_arrays(query_vectors, k)
+        return [
+            [state.entity_at(int(p)) for p in row[row >= 0]] for row in positions
+        ]
+
+    # ------------------------------------------------------------------
+    # Online mutation (pending tail + tombstones)
+    # ------------------------------------------------------------------
+    def add(self, entities: Sequence[Entity], vectors: np.ndarray) -> None:
+        """Append entities to the exact pending tail (searchable immediately)."""
+        entities = list(entities)
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if len(entities) != len(vectors):
+            raise ValueError("entities and vectors must align")
+        if not entities:
+            return
+        with self._lock:
+            state = self._state
+            for entity in entities:
+                if entity.entity_id in state.id_to_position:
+                    raise ValueError(
+                        f"entity {entity.entity_id!r} already indexed; use update()"
+                    )
+            base = state.num_main + len(state.pending_entities)
+            id_to_position = dict(state.id_to_position)
+            for j, entity in enumerate(entities):
+                id_to_position[entity.entity_id] = base + j
+            self._state = replace(
+                state,
+                pending_entities=state.pending_entities + tuple(entities),
+                pending_vectors=np.concatenate(
+                    [state.pending_vectors, vectors], axis=0
+                ),
+                pending_alive=np.concatenate(
+                    [state.pending_alive, np.ones(len(entities), dtype=bool)]
+                ),
+                id_to_position=id_to_position,
+            )
+
+    def remove(self, entity_ids: Sequence[str]) -> None:
+        """Tombstone entities; their positions are never returned again."""
+        ids = list(entity_ids)
+        if not ids:
+            return
+        with self._lock:
+            state = self._state
+            main_alive = state.main_alive.copy()
+            pending_alive = state.pending_alive.copy()
+            id_to_position = dict(state.id_to_position)
+            for entity_id in ids:
+                position = id_to_position.pop(entity_id, None)
+                if position is None:
+                    raise KeyError(f"unknown entity {entity_id!r}")
+                if position < state.num_main:
+                    main_alive[position] = False
+                else:
+                    pending_alive[position - state.num_main] = False
+            self._state = replace(
+                state,
+                main_alive=main_alive,
+                pending_alive=pending_alive,
+                id_to_position=id_to_position,
+            )
+
+    def update(self, entities: Sequence[Entity], vectors: np.ndarray) -> None:
+        """Replace entities in place: tombstone the old row, append the new.
+
+        The entity id is preserved; the fresh metadata/embedding lives in
+        the exact pending tail until the next :meth:`compact`.
+        """
+        entities = list(entities)
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if len(entities) != len(vectors):
+            raise ValueError("entities and vectors must align")
+        if not entities:
+            return
+        missing = [
+            e.entity_id for e in entities if e.entity_id not in self._state.id_to_position
+        ]
+        if missing:
+            raise KeyError(f"unknown entities: {missing}")
+        self.remove([e.entity_id for e in entities])
+        self.add(entities, vectors)
+
+    def compact(self) -> int:
+        """Fold the pending tail + tombstones into a re-clustered generation.
+
+        Builds the new centroids, inverted lists and (re-encoded) storage
+        off to the side and swaps the whole state in one reference
+        assignment — concurrent searches either see the old generation or
+        the new one, never a mix.  Returns the new generation number.
+        """
+        with self._lock:
+            state = self._state
+            keep_main = np.flatnonzero(state.main_alive)
+            keep_pending = np.flatnonzero(state.pending_alive)
+            entities = [state.main_entities[i] for i in keep_main]
+            entities += [state.pending_entities[j] for j in keep_pending]
+            if not entities:
+                raise ValueError("cannot compact a shard down to zero entities")
+            dense = np.concatenate(
+                [
+                    state.storage.take(keep_main)
+                    if keep_main.size
+                    else np.zeros((0, state.storage.dim)),
+                    state.pending_vectors[keep_pending],
+                ],
+                axis=0,
+            )
+            cells = (
+                default_num_cells(len(entities))
+                if self.num_cells_config is None
+                else self.num_cells_config
+            )
+            cells = max(1, min(cells, len(entities)))
+            centroids, assignments = kmeans(
+                dense, cells, seed=self.seed, iters=self.kmeans_iters
+            )
+            members, offsets = _invert_assignments(assignments, len(centroids))
+            storage = encode_matrix(dense, self.codec)
+            self._state = _IVFState(
+                centroids=centroids,
+                members=members,
+                offsets=offsets,
+                storage=storage,
+                main_entities=tuple(entities),
+                main_alive=np.ones(len(entities), dtype=bool),
+                pending_entities=(),
+                pending_vectors=np.zeros((0, storage.dim), dtype=np.float64),
+                pending_alive=np.zeros(0, dtype=bool),
+                generation=state.generation + 1,
+                id_to_position={
+                    entity.entity_id: position
+                    for position, entity in enumerate(entities)
+                },
+            )
+            return self._state.generation
+
+    # ------------------------------------------------------------------
+    # Snapshot (de)serialization — called by ShardedEntityIndex.save/load
+    # ------------------------------------------------------------------
+    def export_snapshot(self) -> Tuple[Dict[str, object], Dict[str, np.ndarray]]:
+        """Manifest fragment + arrays persisting the exact live state.
+
+        Pending tail and tombstones round-trip as-is (no silent compaction,
+        no re-encode drift): a restored shard ranks identically to the
+        live one.
+        """
+        state = self._state
+        entry: Dict[str, object] = {
+            "backend": "ivf",
+            "codec": state.storage.codec,
+            "nprobe": self.nprobe,
+            "num_cells": state.num_cells,
+            "num_cells_config": self.num_cells_config,
+            "seed": self.seed,
+            "kmeans_iters": self.kmeans_iters,
+            "generation": state.generation,
+            "entities": [entity.to_dict() for entity in state.main_entities],
+            "pending_entities": [e.to_dict() for e in state.pending_entities],
+        }
+        arrays: Dict[str, np.ndarray] = {
+            "centroids": state.centroids,
+            "members": state.members,
+            "offsets": state.offsets,
+            "main_alive": state.main_alive,
+            "pending_vectors": state.pending_vectors,
+            "pending_alive": state.pending_alive,
+        }
+        for key, array in state.storage.arrays().items():
+            arrays[f"storage_{key}" if key else "storage"] = array
+        return entry, arrays
+
+    @classmethod
+    def from_snapshot(
+        cls, entry: Dict[str, object], arrays: Dict[str, np.ndarray]
+    ) -> "IVFShard":
+        """Restore a shard saved via :meth:`export_snapshot`.
+
+        Arrays may be memory-mapped; the coarse structures (centroids,
+        lists, alive masks) are materialised — they are tiny — while the
+        embedding storage stays lazy.
+        """
+        codec = str(entry["codec"])
+        storage_arrays = {
+            (key[len("storage_"):] if key.startswith("storage_") else ""): value
+            for key, value in arrays.items()
+            if key == "storage" or key.startswith("storage_")
+        }
+        storage = storage_from_arrays(storage_arrays, codec)
+        shard = cls.__new__(cls)
+        shard.nprobe = int(entry["nprobe"])
+        shard.codec = codec
+        shard.seed = int(entry.get("seed", 0))
+        shard.kmeans_iters = int(entry.get("kmeans_iters", DEFAULT_KMEANS_ITERS))
+        raw_config = entry.get("num_cells_config")
+        shard.num_cells_config = None if raw_config is None else int(raw_config)
+        shard._lock = threading.Lock()
+        main_entities = tuple(
+            Entity.from_dict(payload) for payload in entry["entities"]
+        )
+        pending_entities = tuple(
+            Entity.from_dict(payload) for payload in entry.get("pending_entities", [])
+        )
+        main_alive = np.ascontiguousarray(arrays["main_alive"]).astype(bool)
+        pending_alive = np.ascontiguousarray(arrays["pending_alive"]).astype(bool)
+        id_to_position = {
+            entity.entity_id: position
+            for position, entity in enumerate(main_entities)
+            if main_alive[position]
+        }
+        for j, entity in enumerate(pending_entities):
+            if pending_alive[j]:
+                id_to_position[entity.entity_id] = len(main_entities) + j
+        shard._state = _IVFState(
+            centroids=np.ascontiguousarray(arrays["centroids"], dtype=np.float64),
+            members=np.ascontiguousarray(arrays["members"], dtype=np.int64),
+            offsets=np.ascontiguousarray(arrays["offsets"], dtype=np.int64),
+            storage=storage,
+            main_entities=main_entities,
+            main_alive=main_alive,
+            pending_entities=pending_entities,
+            pending_vectors=np.ascontiguousarray(
+                arrays["pending_vectors"], dtype=np.float64
+            ),
+            pending_alive=pending_alive,
+            generation=int(entry.get("generation", 0)),
+            id_to_position=id_to_position,
+        )
+        return shard

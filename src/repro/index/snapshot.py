@@ -1,0 +1,127 @@
+"""Snapshot generations: append-only directories with an atomic CURRENT swap.
+
+A live KB mutates; its serving replicas must not.  The generation store
+reconciles the two: each :func:`write_generation` call persists the index
+into a *fresh* ``gen-NNNNNNNN`` directory under the store root and then
+atomically repoints the ``CURRENT`` marker file (write-temp + rename, the
+POSIX atomic publish).  Readers — :meth:`ShardedEntityIndex.load
+<repro.linking.candidates.ShardedEntityIndex.load>`, and through it
+:meth:`ReplicaPool.from_snapshot
+<repro.serving.cluster.ReplicaPool.from_snapshot>` — resolve ``CURRENT``
+first, so a reader either sees the complete old generation or the complete
+new one, never a half-written directory.
+
+:func:`compact_to_generation` is the online-mutation endgame: compact every
+IVF shard (fold pending tails, drop tombstones, re-cluster) and publish the
+result as the next generation, while already-loaded replicas keep serving
+their (immutable, memory-mapped) old generation until they are rolled.
+
+Layout::
+
+    store/
+      CURRENT            -> "gen-00000002"   (atomic pointer)
+      gen-00000001/      index.json + arrays/*.npy
+      gen-00000002/      index.json + arrays/*.npy
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..linking.candidates import ShardedEntityIndex
+
+#: Name of the atomic pointer file inside a generation store.
+CURRENT_MARKER = "CURRENT"
+
+_GENERATION_PATTERN = re.compile(r"^gen-(\d{8})$")
+
+
+def generation_name(number: int) -> str:
+    if number < 0:
+        raise ValueError("generation numbers are non-negative")
+    return f"gen-{number:08d}"
+
+
+def list_generations(root: Union[str, Path]) -> List[Path]:
+    """Generation directories under ``root``, oldest first."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    found = [
+        child
+        for child in root.iterdir()
+        if child.is_dir() and _GENERATION_PATTERN.match(child.name)
+    ]
+    return sorted(found, key=lambda path: path.name)
+
+
+def current_generation(root: Union[str, Path]) -> Optional[Path]:
+    """The generation ``CURRENT`` points at, or None for an empty store.
+
+    A dangling marker (pointing at a deleted directory) raises — that is
+    store corruption, not an empty store.
+    """
+    root = Path(root)
+    marker = root / CURRENT_MARKER
+    if not marker.exists():
+        return None
+    name = marker.read_text().strip()
+    if not _GENERATION_PATTERN.match(name):
+        raise ValueError(f"corrupt {CURRENT_MARKER} marker: {name!r}")
+    target = root / name
+    if not target.is_dir():
+        raise ValueError(
+            f"{CURRENT_MARKER} points at missing generation {name!r}"
+        )
+    return target
+
+
+def next_generation_number(root: Union[str, Path]) -> int:
+    generations = list_generations(root)
+    if not generations:
+        return 1
+    return int(_GENERATION_PATTERN.match(generations[-1].name).group(1)) + 1
+
+
+def write_generation(
+    index: "ShardedEntityIndex",
+    root: Union[str, Path],
+    codec: str = "float64",
+) -> Path:
+    """Persist ``index`` as the next generation and atomically publish it.
+
+    The snapshot is written into a fresh ``gen-NNNNNNNN`` directory first;
+    only after :meth:`ShardedEntityIndex.save` has committed its manifest is
+    the ``CURRENT`` marker swapped (temp file + rename), so readers never
+    observe a partial generation.  Returns the generation directory.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    name = generation_name(next_generation_number(root))
+    target = root / name
+    index.save(target, codec=codec)
+    marker_tmp = root / (CURRENT_MARKER + ".tmp")
+    marker_tmp.write_text(name)
+    marker_tmp.replace(root / CURRENT_MARKER)
+    return target
+
+
+def compact_to_generation(
+    index: "ShardedEntityIndex",
+    root: Union[str, Path],
+    codec: str = "float64",
+) -> Path:
+    """Compact every compactable shard, then publish the next generation.
+
+    Shards without a ``compact`` method (the exact reference backend) are
+    persisted as-is — exact shards fold mutations eagerly and never carry a
+    pending tail.
+    """
+    for world in index.worlds():
+        shard = index.shard(world)
+        if shard is not None and hasattr(shard, "compact"):
+            shard.compact()
+    return write_generation(index, root, codec=codec)

@@ -141,12 +141,17 @@ class BiEncoder(Module):
         batch_size: int = 64,
         lazy: bool = True,
         cache_size: int = 4096,
+        backend=None,
     ) -> ShardedEntityIndex:
         """Build a per-world :class:`ShardedEntityIndex` over ``entities``.
 
         With ``lazy=True`` (the default) no embedding happens here: each
         world's shard is embedded on first search, which is what the serving
         pipeline wants when only a few worlds receive traffic.
+
+        ``backend`` picks the per-shard search structure: None keeps the
+        exact reference index; :class:`repro.index.IVFBackend` builds
+        approximate IVF shards (coarse cells + exact re-scoring).
 
         Example::
 
@@ -157,6 +162,7 @@ class BiEncoder(Module):
             entities,
             embed_fn=lambda chunk: self.embed_entities(chunk, batch_size=batch_size),
             cache_size=cache_size,
+            backend=backend,
         )
         if not lazy:
             for world in index.worlds():
@@ -168,12 +174,18 @@ class BiEncoder(Module):
         path,
         batch_size: int = 64,
         cache_size: Optional[int] = None,
+        mmap: bool = False,
+        backend=None,
     ) -> ShardedEntityIndex:
         """Restore a :meth:`ShardedEntityIndex.save` snapshot with this encoder.
 
         Snapshots persist vectors and entity metadata but not the embedding
         callable; this rebinds ``embed_fn`` to this bi-encoder so still-cold
         shards can materialise lazily after a process restart.
+
+        ``mmap=True`` opens version-2 snapshot arrays with ``mmap_mode="r"``
+        so forked replica processes share the embedding pages; ``backend``
+        rebuilds exact-saved shards under an approximate backend.
 
         Example::
 
@@ -185,6 +197,8 @@ class BiEncoder(Module):
             path,
             embed_fn=lambda chunk: self.embed_entities(chunk, batch_size=batch_size),
             cache_size=cache_size,
+            mmap=mmap,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------

@@ -7,14 +7,18 @@ stage, evaluated with Recall@64).  Two index flavours are provided:
 :class:`EntityIndex`
     A flat in-memory index over one entity collection.  Search runs a blocked
     matrix multiply with :func:`numpy.argpartition` top-k selection so memory
-    stays bounded for large entity sets.
+    stays bounded for large entity sets.  This is the *exact reference*
+    implementation every approximate backend is measured against.
 
 :class:`ShardedEntityIndex`
     One shard per world (domain), the unit of scale in the Zeshel setting.
     Shards are built lazily from an ``embed_fn`` on first use, queries can be
     routed to a single world or fanned out and merged across all of them, and
     a small LRU cache keyed by entity id serves repeated single-entity
-    embedding lookups without touching shard storage.
+    embedding lookups without touching shard storage.  A pluggable *backend*
+    (see :mod:`repro.index.backend`) decides what a materialised shard is:
+    the exact :class:`EntityIndex` (default), or the approximate
+    :class:`~repro.index.ivf.IVFShard`.
 
 Usage::
 
@@ -25,15 +29,34 @@ Usage::
 Tie-breaking is deterministic everywhere: candidates with equal scores are
 ordered by their insertion position (and, across shards, by shard insertion
 order first), so repeated searches always return identical rankings.
+
+Snapshots are versioned.  Version 1 (the PR 2 format) stored one
+``vectors.npz``; version 2 stores one raw ``.npy`` per array under
+``arrays/`` so :meth:`ShardedEntityIndex.load` can open every shard with
+``mmap_mode="r"`` — forked serving replicas then share the snapshot's pages
+instead of each copying the float64 matrices.  Version-1 snapshots still
+load; version 2 additionally persists quantized codecs and IVF shard state
+(see :mod:`repro.index`).
 """
 
 from __future__ import annotations
 
 import json
+import shutil
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -47,13 +70,29 @@ DEFAULT_BLOCK_SIZE = 2048
 DEFAULT_CACHE_SIZE = 4096
 
 #: On-disk snapshot format version written by :meth:`ShardedEntityIndex.save`.
-SNAPSHOT_FORMAT_VERSION = 1
+SNAPSHOT_FORMAT_VERSION = 2
 
-#: File names inside a snapshot directory.
+#: File names inside a snapshot directory.  ``SNAPSHOT_VECTORS`` is the
+#: version-1 npz (still readable); version 2 writes ``SNAPSHOT_ARRAYS``.
 SNAPSHOT_MANIFEST = "index.json"
 SNAPSHOT_VECTORS = "vectors.npz"
+SNAPSHOT_ARRAYS = "arrays"
+
+#: Generation-store pointer file (see :mod:`repro.index.snapshot`); when a
+#: load path contains one, the load resolves it to the current generation.
+SNAPSHOT_CURRENT = "CURRENT"
 
 EmbedFn = Callable[[Sequence[Entity]], np.ndarray]
+
+
+def _is_storage(vectors: Any) -> bool:
+    """Duck-typed check for a :class:`repro.index.codecs.VectorStorage`.
+
+    candidates.py cannot import :mod:`repro.index` at module level (that
+    package imports this one), so the storage protocol is recognised
+    structurally.
+    """
+    return hasattr(vectors, "to_dense") and hasattr(vectors, "take")
 
 
 @dataclass
@@ -133,6 +172,11 @@ class LRUEmbeddingCache:
         self._store[entity_id] = vector
         while len(self._store) > self.capacity:
             self._store.popitem(last=False)
+
+    def invalidate(self, entity_ids: Iterable[str]) -> None:
+        """Drop cached embeddings for the given ids (after update/remove)."""
+        for entity_id in entity_ids:
+            self._store.pop(entity_id, None)
 
     def clear(self) -> None:
         self._store.clear()
@@ -244,11 +288,90 @@ class EntityIndex:
     def entity(self, entity_id: str) -> Entity:
         return self._entities[self._id_to_position[entity_id]]
 
+    def entity_id_at(self, position: int) -> str:
+        """Entity id at a search-result position (the merge-path lookup)."""
+        return self._entities[position].entity_id
+
     def vector(self, entity_id: str) -> np.ndarray:
         return self._vectors[self._id_to_position[entity_id]]
 
     def __contains__(self, entity_id: str) -> bool:
         return entity_id in self._id_to_position
+
+    def stats(self) -> Dict[str, object]:
+        """Shard descriptor mirroring :meth:`IVFShard.stats` (exact flavour)."""
+        return {
+            "backend": "exact",
+            "codec": "float64",
+            "entities": len(self._entities),
+            "storage_bytes": int(self._vectors.nbytes),
+        }
+
+    # ------------------------------------------------------------------
+    # Mutation (exact reference semantics: rebuild, never approximate)
+    # ------------------------------------------------------------------
+    def add(self, entities: Sequence[Entity], vectors: np.ndarray) -> None:
+        """Append entities; duplicates are an error (use :meth:`update`)."""
+        entities = list(entities)
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if len(entities) != len(vectors):
+            raise ValueError("entities and vectors must align")
+        if not entities:
+            return
+        for entity in entities:
+            if entity.entity_id in self._id_to_position:
+                raise ValueError(
+                    f"entity {entity.entity_id!r} already indexed; use update()"
+                )
+        base = len(self._entities)
+        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+        self._entities.extend(entities)
+        for offset, entity in enumerate(entities):
+            self._id_to_position[entity.entity_id] = base + offset
+
+    def remove(self, entity_ids: Sequence[str]) -> None:
+        """Drop entities and their rows; later positions shift down.
+
+        Exact semantics: the index is rebuilt without the removed rows, so
+        search never sees a tombstone.  Removing every entity leaves a
+        legal empty index (searches return empty results).
+        """
+        ids = set(entity_ids)
+        unknown = [entity_id for entity_id in ids if entity_id not in self._id_to_position]
+        if unknown:
+            raise KeyError(f"unknown entities: {sorted(unknown)}")
+        keep = [
+            position
+            for position, entity in enumerate(self._entities)
+            if entity.entity_id not in ids
+        ]
+        self._entities = [self._entities[position] for position in keep]
+        self._vectors = self._vectors[keep]
+        self._id_to_position = {
+            entity.entity_id: position for position, entity in enumerate(self._entities)
+        }
+
+    def update(self, entities: Sequence[Entity], vectors: np.ndarray) -> None:
+        """Replace entities in place (same id, new metadata/embedding)."""
+        entities = list(entities)
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if len(entities) != len(vectors):
+            raise ValueError("entities and vectors must align")
+        missing = [
+            entity.entity_id
+            for entity in entities
+            if entity.entity_id not in self._id_to_position
+        ]
+        if missing:
+            raise KeyError(f"unknown entities: {missing}")
+        if not self._vectors.flags.writeable:
+            # Memory-mapped snapshots are opened read-only; in-place update
+            # materialises a private copy first.
+            self._vectors = np.array(self._vectors)
+        for entity, vector in zip(entities, vectors):
+            position = self._id_to_position[entity.entity_id]
+            self._entities[position] = entity
+            self._vectors[position] = vector
 
     # ------------------------------------------------------------------
     # Search
@@ -307,12 +430,14 @@ class ShardedEntityIndex:
         embed_fn: Optional[EmbedFn] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        backend: Optional[Any] = None,
     ) -> None:
         self._embed_fn = embed_fn
         self._block_size = block_size
+        self._backend = backend
         self._shard_entities: "OrderedDict[str, List[Entity]]" = OrderedDict()
-        self._shard_vectors: Dict[str, Optional[np.ndarray]] = {}
-        self._shards: Dict[str, Optional[EntityIndex]] = {}
+        self._shard_vectors: Dict[str, Optional[Any]] = {}
+        self._shards: Dict[str, Optional[Any]] = {}
         self._entity_world: Dict[str, str] = {}
         self.embedding_cache = LRUEmbeddingCache(cache_size)
 
@@ -326,9 +451,15 @@ class ShardedEntityIndex:
         embed_fn: Optional[EmbedFn] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        backend: Optional[Any] = None,
     ) -> "ShardedEntityIndex":
         """Group ``entities`` by their ``domain`` attribute, one shard each."""
-        index = cls(embed_fn=embed_fn, block_size=block_size, cache_size=cache_size)
+        index = cls(
+            embed_fn=embed_fn,
+            block_size=block_size,
+            cache_size=cache_size,
+            backend=backend,
+        )
         grouped: "OrderedDict[str, List[Entity]]" = OrderedDict()
         for entity in entities:
             grouped.setdefault(entity.domain, []).append(entity)
@@ -340,16 +471,25 @@ class ShardedEntityIndex:
         self,
         world: str,
         entities: Sequence[Entity],
-        vectors: Optional[np.ndarray] = None,
+        vectors: Optional[Any] = None,
     ) -> None:
-        """Register a shard; ``vectors=None`` defers embedding to first use."""
+        """Register a shard; ``vectors=None`` defers embedding to first use.
+
+        ``vectors`` may be a dense float64 matrix or a
+        :class:`~repro.index.codecs.VectorStorage` (e.g. loaded from a
+        quantized, memory-mapped snapshot) — storages are handed to the
+        backend as-is so decoding stays lazy.
+        """
         if world in self._shard_entities:
             raise ValueError(f"shard {world!r} already exists")
         if vectors is not None and len(vectors) != len(entities):
             raise ValueError("entities and vectors must align")
         members = list(entities)
         self._shard_entities[world] = members
-        self._shard_vectors[world] = None if vectors is None else np.asarray(vectors, dtype=np.float64)
+        if vectors is None or _is_storage(vectors):
+            self._shard_vectors[world] = vectors
+        else:
+            self._shard_vectors[world] = np.asarray(vectors, dtype=np.float64)
         for entity in members:
             self._entity_world[entity.entity_id] = world
         self._shards.pop(world, None)
@@ -358,7 +498,11 @@ class ShardedEntityIndex:
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(members) for members in self._shard_entities.values())
+        total = 0
+        for world, members in self._shard_entities.items():
+            shard = self._shards.get(world)
+            total += len(shard) if shard is not None else len(members)
+        return total
 
     def worlds(self) -> List[str]:
         """Shard names in insertion order."""
@@ -368,19 +512,30 @@ class ShardedEntityIndex:
     def num_shards(self) -> int:
         return len(self._shard_entities)
 
+    @property
+    def backend(self) -> Optional[Any]:
+        """The shard backend (None means the exact default)."""
+        return self._backend
+
     def is_materialized(self, world: str) -> bool:
         """Whether a shard's vectors have been built (lazy shards start cold)."""
         return self._shards.get(world) is not None or self._shard_vectors.get(world) is not None
 
-    def shard(self, world: str) -> Optional[EntityIndex]:
-        """The (materialised) :class:`EntityIndex` of one world; None if empty."""
+    def shard(self, world: str) -> Optional[Any]:
+        """The materialised shard index of one world; None if empty.
+
+        The concrete type is whatever the backend builds: the exact
+        :class:`EntityIndex` by default, an
+        :class:`~repro.index.ivf.IVFShard` under
+        :class:`~repro.index.backend.IVFBackend`.
+        """
         if world not in self._shard_entities:
             raise KeyError(f"unknown world {world!r}")
         if world not in self._shards:
             self._shards[world] = self._build_shard(world)
         return self._shards[world]
 
-    def _build_shard(self, world: str) -> Optional[EntityIndex]:
+    def _build_shard(self, world: str) -> Optional[Any]:
         members = self._shard_entities[world]
         if not members:
             return None
@@ -394,6 +549,10 @@ class ShardedEntityIndex:
             if len(vectors) != len(members):
                 raise ValueError("embed_fn returned a misaligned vector matrix")
             self._shard_vectors[world] = vectors
+        if self._backend is not None:
+            return self._backend.build(members, vectors, self._block_size)
+        if _is_storage(vectors):
+            vectors = vectors.to_dense()
         return EntityIndex(members, vectors, block_size=self._block_size)
 
     # ------------------------------------------------------------------
@@ -421,47 +580,197 @@ class ShardedEntityIndex:
         return vector
 
     # ------------------------------------------------------------------
+    # Online mutation
+    # ------------------------------------------------------------------
+    def _resolve_vectors(
+        self, entities: List[Entity], vectors: Optional[np.ndarray]
+    ) -> np.ndarray:
+        if vectors is None:
+            if self._embed_fn is None:
+                raise ValueError("no vectors given and the index has no embed_fn")
+            vectors = self._embed_fn(entities)
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if len(vectors) != len(entities):
+            raise ValueError("entities and vectors must align")
+        return vectors
+
+    def _sync_shard_record(self, world: str, shard: Any) -> None:
+        """Refresh the bookkeeping lists after a shard-level mutation."""
+        members = list(shard.entities())
+        self._shard_entities[world] = members
+        self._shard_vectors[world] = getattr(shard, "vectors", None)
+
+    def add_entities(
+        self,
+        entities: Sequence[Entity],
+        vectors: Optional[np.ndarray] = None,
+    ) -> None:
+        """Add entities online; they are searchable as soon as this returns.
+
+        Entities route to their ``domain`` shard; unknown domains create a
+        new shard.  ``vectors=None`` embeds through the index's ``embed_fn``.
+        On IVF shards the rows land in the exact pending tail (linkable
+        immediately, folded into cells by :meth:`compact`); on exact shards
+        the matrix grows in place.
+        """
+        entities = list(entities)
+        if not entities:
+            return
+        duplicates = [e.entity_id for e in entities if e.entity_id in self._entity_world]
+        if duplicates:
+            raise ValueError(
+                f"entities already indexed (use update_entities): {duplicates}"
+            )
+        vectors = self._resolve_vectors(entities, vectors)
+        grouped: "OrderedDict[str, List[int]]" = OrderedDict()
+        for position, entity in enumerate(entities):
+            grouped.setdefault(entity.domain, []).append(position)
+        for world, rows in grouped.items():
+            members = [entities[i] for i in rows]
+            member_vectors = vectors[rows]
+            if world not in self._shard_entities:
+                self.add_shard(world, members, member_vectors)
+                continue
+            shard = self.shard(world)
+            if shard is None:
+                # Previously empty world: registering content resets it.
+                self._shard_entities[world] = members
+                self._shard_vectors[world] = member_vectors
+                self._shards.pop(world, None)
+            else:
+                shard.add(members, member_vectors)
+                self._sync_shard_record(world, shard)
+            for entity in members:
+                self._entity_world[entity.entity_id] = world
+
+    def remove_entities(self, entity_ids: Sequence[str]) -> None:
+        """Remove entities online (exact: row drop; IVF: tombstone)."""
+        ids = list(entity_ids)
+        unknown = [i for i in ids if i not in self._entity_world]
+        if unknown:
+            raise KeyError(f"unknown entities: {sorted(unknown)}")
+        grouped: "OrderedDict[str, List[str]]" = OrderedDict()
+        for entity_id in ids:
+            grouped.setdefault(self._entity_world[entity_id], []).append(entity_id)
+        for world, members in grouped.items():
+            shard = self.shard(world)
+            assert shard is not None  # ids imply non-empty shards
+            shard.remove(members)
+            self._sync_shard_record(world, shard)
+        for entity_id in ids:
+            del self._entity_world[entity_id]
+        self.embedding_cache.invalidate(ids)
+
+    def update_entities(
+        self,
+        entities: Sequence[Entity],
+        vectors: Optional[np.ndarray] = None,
+    ) -> None:
+        """Refresh metadata/embeddings of already-indexed entities online."""
+        entities = list(entities)
+        if not entities:
+            return
+        missing = [e.entity_id for e in entities if e.entity_id not in self._entity_world]
+        if missing:
+            raise KeyError(f"unknown entities: {missing}")
+        vectors = self._resolve_vectors(entities, vectors)
+        grouped: "OrderedDict[str, List[int]]" = OrderedDict()
+        for position, entity in enumerate(entities):
+            grouped.setdefault(self._entity_world[entity.entity_id], []).append(position)
+        for world, rows in grouped.items():
+            shard = self.shard(world)
+            assert shard is not None
+            shard.update([entities[i] for i in rows], vectors[rows])
+            self._sync_shard_record(world, shard)
+        self.embedding_cache.invalidate(e.entity_id for e in entities)
+
+    def compact(self) -> Dict[str, int]:
+        """Compact every shard that supports it (IVF backends).
+
+        Folds pending tails and tombstones into freshly re-clustered
+        generations; exact shards mutate eagerly and are left alone.
+        Returns ``{world: new_generation}`` for the compacted shards.
+        """
+        generations: Dict[str, int] = {}
+        for world in self.worlds():
+            shard = self._shards.get(world)
+            if shard is not None and hasattr(shard, "compact"):
+                generations[world] = shard.compact()
+                self._sync_shard_record(world, shard)
+        return generations
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(self, path: Union[str, Path], codec: str = "float64") -> Path:
         """Snapshot the index to a directory; returns the directory path.
 
-        The snapshot holds a JSON manifest (shard order, entity metadata,
-        block size, cache capacity) plus one ``npz`` array per *materialised*
-        shard.  Saving never materialises anything: cold (lazy) shards are
-        recorded without vectors and stay cold after :meth:`load`, so a
-        restored index re-embeds exactly the worlds the original would have.
-        Vectors are stored as float64 without re-encoding, so restored
-        rankings are bit-identical to the pre-save index.
+        Version-2 layout: a JSON manifest (shard order, backend + codec per
+        shard, entity metadata, block size, cache capacity) plus one raw
+        ``.npy`` file per array under ``arrays/`` — raw files, unlike the
+        version-1 ``npz``, can be opened with ``mmap_mode="r"`` at load
+        time.  Saving never materialises anything: cold (lazy) shards are
+        recorded without vectors and stay cold after :meth:`load`.
+
+        ``codec`` quantizes materialised *exact* shards on disk (``float64``
+        / ``float16`` / ``int8``); the default float64 round-trips
+        bit-identically.  IVF shards persist their own codec and full live
+        state (cells, pending tail, tombstones) via ``export_snapshot``.
         """
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         shards = []
         arrays: Dict[str, np.ndarray] = {}
         for position, (world, members) in enumerate(self._shard_entities.items()):
+            shard = self._shards.get(world)
+            if shard is not None and hasattr(shard, "export_snapshot"):
+                entry, shard_arrays = shard.export_snapshot()
+                entry["world"] = world
+                entry["materialized"] = True
+                shards.append(entry)
+                for key, array in shard_arrays.items():
+                    arrays[f"shard_{position}__{key}"] = array
+                continue
             vectors = self._shard_vectors.get(world)
-            shards.append(
-                {
-                    "world": world,
-                    "materialized": vectors is not None,
-                    "entities": [entity.to_dict() for entity in members],
-                }
-            )
-            if vectors is not None:
-                arrays[f"shard_{position}"] = vectors
+            entry = {
+                "world": world,
+                "backend": "exact",
+                "codec": codec if vectors is not None else "float64",
+                "materialized": vectors is not None,
+                "entities": [entity.to_dict() for entity in members],
+            }
+            shards.append(entry)
+            if vectors is None:
+                continue
+            if codec == "float64" and not _is_storage(vectors):
+                arrays[f"shard_{position}"] = np.asarray(vectors, dtype=np.float64)
+            else:
+                from ..index.codecs import encode_matrix  # deferred: avoids cycle
+
+                dense = vectors.to_dense() if _is_storage(vectors) else vectors
+                for key, array in encode_matrix(dense, codec).arrays().items():
+                    name = f"shard_{position}__{key}" if key else f"shard_{position}"
+                    arrays[name] = array
         manifest = {
             "format_version": SNAPSHOT_FORMAT_VERSION,
             "block_size": self._block_size,
             "cache_size": self.embedding_cache.capacity,
             "shards": shards,
         }
-        # Write-then-rename so a crash mid-save never leaves a truncated
-        # file; vectors land before the manifest, which acts as the commit
-        # marker a reader looks at first.
-        vectors_tmp = path / (SNAPSHOT_VECTORS + ".tmp")
-        with open(vectors_tmp, "wb") as handle:
-            np.savez(handle, **arrays)
-        vectors_tmp.replace(path / SNAPSHOT_VECTORS)
+        # Write arrays into a temp directory, swap it in, then write the
+        # manifest (temp file + rename): the manifest is the commit marker a
+        # reader looks at first, so a crash mid-save never exposes a
+        # half-written snapshot.
+        arrays_tmp = path / (SNAPSHOT_ARRAYS + ".tmp")
+        if arrays_tmp.exists():
+            shutil.rmtree(arrays_tmp)
+        arrays_tmp.mkdir()
+        for name, array in arrays.items():
+            np.save(arrays_tmp / f"{name}.npy", np.ascontiguousarray(array))
+        arrays_dir = path / SNAPSHOT_ARRAYS
+        if arrays_dir.exists():
+            shutil.rmtree(arrays_dir)
+        arrays_tmp.replace(arrays_dir)
         manifest_tmp = path / (SNAPSHOT_MANIFEST + ".tmp")
         manifest_tmp.write_text(json.dumps(manifest, indent=1))
         manifest_tmp.replace(path / SNAPSHOT_MANIFEST)
@@ -474,6 +783,8 @@ class ShardedEntityIndex:
         embed_fn: Optional[EmbedFn] = None,
         block_size: Optional[int] = None,
         cache_size: Optional[int] = None,
+        mmap: bool = False,
+        backend: Optional[Any] = None,
     ) -> "ShardedEntityIndex":
         """Restore an index saved with :meth:`save`.
 
@@ -483,25 +794,96 @@ class ShardedEntityIndex:
         function (snapshots cannot serialise callables); it is only required
         once a still-cold shard is first searched.  ``block_size`` /
         ``cache_size`` override the persisted values when given.
+
+        ``mmap=True`` opens every version-2 array with ``mmap_mode="r"`` —
+        embedding pages load on first touch and are shared between forked
+        replica processes.  Version-1 (``npz``) snapshots still load, always
+        in RAM.  ``backend`` rebuilds *exact-saved* shards under a different
+        backend (e.g. :class:`~repro.index.backend.IVFBackend`); shards
+        saved from IVF state restore as IVF shards regardless.
+
+        If ``path`` is a generation store (contains a ``CURRENT`` marker,
+        see :mod:`repro.index.snapshot`), the current generation is loaded.
         """
         path = Path(path)
+        if not (path / SNAPSHOT_MANIFEST).exists() and (path / SNAPSHOT_CURRENT).exists():
+            from ..index.snapshot import current_generation  # deferred: avoids cycle
+
+            resolved = current_generation(path)
+            assert resolved is not None  # marker exists, so this resolves
+            path = resolved
         manifest = json.loads((path / SNAPSHOT_MANIFEST).read_text())
         version = manifest.get("format_version")
-        if version != SNAPSHOT_FORMAT_VERSION:
+        if version not in (1, SNAPSHOT_FORMAT_VERSION):
             raise ValueError(
                 f"unsupported snapshot format version {version!r} "
-                f"(expected {SNAPSHOT_FORMAT_VERSION})"
+                f"(this build reads versions 1 and {SNAPSHOT_FORMAT_VERSION})"
             )
         index = cls(
             embed_fn=embed_fn,
             block_size=manifest["block_size"] if block_size is None else block_size,
             cache_size=manifest["cache_size"] if cache_size is None else cache_size,
+            backend=backend,
         )
-        with np.load(path / SNAPSHOT_VECTORS) as arrays:
-            for position, shard in enumerate(manifest["shards"]):
-                entities = [Entity.from_dict(payload) for payload in shard["entities"]]
-                vectors = arrays[f"shard_{position}"] if shard["materialized"] else None
-                index.add_shard(shard["world"], entities, vectors)
+        if version == 1:
+            with np.load(path / SNAPSHOT_VECTORS) as arrays:
+                for position, shard in enumerate(manifest["shards"]):
+                    entities = [Entity.from_dict(p) for p in shard["entities"]]
+                    vectors = arrays[f"shard_{position}"] if shard["materialized"] else None
+                    index.add_shard(shard["world"], entities, vectors)
+            return index
+
+        arrays_dir = path / SNAPSHOT_ARRAYS
+        mmap_mode = "r" if mmap else None
+
+        def _load(name: str) -> np.ndarray:
+            return np.load(arrays_dir / f"{name}.npy", mmap_mode=mmap_mode)
+
+        names = sorted(p.stem for p in arrays_dir.glob("*.npy"))
+        for position, shard in enumerate(manifest["shards"]):
+            world = shard["world"]
+            shard_backend = shard.get("backend", "exact")
+            if shard_backend == "ivf":
+                from ..index.ivf import IVFShard  # deferred: avoids cycle
+
+                prefix = f"shard_{position}__"
+                shard_arrays = {
+                    name[len(prefix):]: _load(name)
+                    for name in names
+                    if name.startswith(prefix)
+                }
+                ivf_shard = IVFShard.from_snapshot(shard, shard_arrays)
+                members = ivf_shard.entities()
+                index._shard_entities[world] = members
+                index._shard_vectors[world] = None
+                index._shards[world] = ivf_shard
+                for entity in members:
+                    index._entity_world[entity.entity_id] = world
+                continue
+            if shard_backend != "exact":
+                raise ValueError(
+                    f"unknown shard backend {shard_backend!r} in snapshot "
+                    f"(a newer build may have written it)"
+                )
+            entities = [Entity.from_dict(p) for p in shard["entities"]]
+            if not shard["materialized"]:
+                index.add_shard(world, entities, None)
+                continue
+            shard_codec = shard.get("codec", "float64")
+            if shard_codec == "float64":
+                index.add_shard(world, entities, _load(f"shard_{position}"))
+            else:
+                from ..index.codecs import storage_from_arrays  # deferred
+
+                prefix = f"shard_{position}__"
+                components = {
+                    name[len(prefix):]: _load(name)
+                    for name in names
+                    if name.startswith(prefix)
+                }
+                index.add_shard(
+                    world, entities, storage_from_arrays(components, shard_codec)
+                )
         return index
 
     # ------------------------------------------------------------------
@@ -554,20 +936,26 @@ class ShardedEntityIndex:
         top_positions = np.take_along_axis(positions, order, axis=1)
         top_shards = np.take_along_axis(shard_orders, order, axis=1)
 
-        shard_entities = [self._shard_entities[world] for world in selected]
+        # Resolve positions through the shards themselves (IVF positions are
+        # stable slot numbers, not list offsets) and drop padding slots
+        # (position -1, score -inf) emitted by approximate shards.
+        selected_shards = [self.shard(world) for world in selected]
         results: List[RetrievalResult] = []
         for query_index in range(num_queries):
-            results.append(
-                RetrievalResult(
-                    entity_ids=[
-                        shard_entities[shard_index][position].entity_id
-                        for shard_index, position in zip(
-                            top_shards[query_index], top_positions[query_index]
-                        )
-                    ],
-                    scores=[float(score) for score in top_scores[query_index]],
-                )
-            )
+            entity_ids: List[str] = []
+            row_scores: List[float] = []
+            for shard_index, position, score in zip(
+                top_shards[query_index],
+                top_positions[query_index],
+                top_scores[query_index],
+            ):
+                if position < 0:
+                    continue
+                shard = selected_shards[shard_index]
+                assert shard is not None
+                entity_ids.append(shard.entity_id_at(int(position)))
+                row_scores.append(float(score))
+            results.append(RetrievalResult(entity_ids=entity_ids, scores=row_scores))
         return results
 
     def search_routed(

@@ -1073,14 +1073,22 @@ class ReplicaPool:
         max_batch_size: Optional[int] = None,
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
         process_replicas: int = 0,
+        mmap: bool = True,
+        backend=None,
     ) -> "ReplicaPool":
         """A pool serving a persisted index snapshot (PR 2 format).
 
         The snapshot is loaded *once* and shared read-only by every replica
         — the restart path therefore costs a pipeline clone, not an index
-        reload, exactly like a warm rolling restart in production.
+        reload, exactly like a warm rolling restart in production.  With the
+        default ``mmap=True``, version-2 snapshot arrays are memory-mapped,
+        so forked process replicas share the snapshot's pages instead of
+        each copying the float64 matrices (version-1 npz snapshots fall back
+        to in-RAM loading).  ``backend`` (e.g.
+        :class:`repro.index.IVFBackend`) rebuilds exact-saved shards under
+        an approximate backend.
         """
-        index = biencoder.load_sharded_index(path)
+        index = biencoder.load_sharded_index(path, mmap=mmap, backend=backend)
         base = EntityLinkingPipeline(
             biencoder, index, crossencoder, k=k, rerank=rerank,
             batch_size=batch_size, route_by_domain=route_by_domain,

@@ -1,0 +1,43 @@
+"""Unit tests for the approximate-vs-exact recall metric."""
+
+import pytest
+
+from repro.eval import recall_at_k
+from repro.linking.candidates import RetrievalResult
+
+
+class TestRecallAtK:
+    def test_perfect_overlap(self):
+        exact = [["a", "b", "c"], ["d", "e"]]
+        assert recall_at_k(exact, exact) == 1.0
+
+    def test_order_insensitive(self):
+        assert recall_at_k([["c", "a", "b"]], [["a", "b", "c"]]) == 1.0
+
+    def test_partial_overlap_averages_over_queries(self):
+        approx = [["a", "b"], ["x", "y"]]
+        exact = [["a", "b"], ["d", "e"]]
+        assert recall_at_k(approx, exact) == pytest.approx(0.5)
+
+    def test_cutoff_k_truncates_both_sides(self):
+        approx = [["a", "z", "b"]]
+        exact = [["a", "b", "z"]]
+        # At k=2 the exact set is {a, b}; approx returns {a, z} -> 0.5.
+        assert recall_at_k(approx, exact, k=2) == pytest.approx(0.5)
+        assert recall_at_k(approx, exact) == 1.0
+
+    def test_accepts_retrieval_results(self):
+        approx = [RetrievalResult(["a", "b"], [2.0, 1.0])]
+        exact = [RetrievalResult(["a", "c"], [2.0, 1.5])]
+        assert recall_at_k(approx, exact) == pytest.approx(0.5)
+
+    def test_empty_exact_rows_are_skipped(self):
+        assert recall_at_k([["a"], []], [["a"], []]) == 1.0
+
+    def test_all_empty_defines_recall_one(self):
+        assert recall_at_k([], []) == 1.0
+        assert recall_at_k([[]], [[]]) == 1.0
+
+    def test_misaligned_lists_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k([["a"]], [])

@@ -1,0 +1,239 @@
+"""IVFShard: parity with the exact index, recall, rank stability, mutation."""
+
+import numpy as np
+import pytest
+
+from repro.eval import recall_at_k
+from repro.index import IVFBackend, IVFShard, default_num_cells, kmeans
+from repro.kb import Entity
+from repro.linking import EntityIndex, ShardedEntityIndex
+
+
+def make_entities(world, count):
+    return [
+        Entity(
+            entity_id=f"{world}:{index}",
+            title=f"{world} entity {index}",
+            description=f"description {index}",
+            domain=world,
+        )
+        for index in range(count)
+    ]
+
+
+@pytest.fixture
+def kb():
+    rng = np.random.default_rng(3)
+    entities = make_entities("w", 120)
+    vectors = rng.normal(size=(120, 16))
+    return entities, vectors
+
+
+@pytest.fixture
+def queries():
+    return np.random.default_rng(4).normal(size=(10, 16))
+
+
+class TestKMeans:
+    def test_deterministic(self):
+        vectors = np.random.default_rng(0).normal(size=(50, 8))
+        c1, a1 = kmeans(vectors, 7, seed=5)
+        c2, a2 = kmeans(vectors, 7, seed=5)
+        assert np.array_equal(c1, c2) and np.array_equal(a1, a2)
+
+    def test_no_empty_cells_when_points_suffice(self):
+        vectors = np.random.default_rng(1).normal(size=(60, 4))
+        _, assignments = kmeans(vectors, 8, seed=0)
+        assert len(np.unique(assignments)) == 8
+
+    def test_default_num_cells(self):
+        assert default_num_cells(0) == 1
+        assert default_num_cells(1) == 1
+        assert default_num_cells(100) == 10
+        assert default_num_cells(100_000) == 316
+
+
+class TestExactParity:
+    def test_full_probe_no_quantization_matches_exact(self, kb, queries):
+        """Acceptance criterion: nprobe = all cells + float64 == exact."""
+        entities, vectors = kb
+        exact = EntityIndex(entities, vectors)
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=10)
+        exact_results = exact.search(queries, k=12)
+        ivf_results = shard.search(queries, k=12)
+        for a, b in zip(exact_results, ivf_results):
+            assert a.entity_ids == b.entity_ids
+            assert np.allclose(a.scores, b.scores, atol=1e-12)
+
+    def test_parity_through_sharded_index(self, queries):
+        rng = np.random.default_rng(9)
+        entities = make_entities("a", 60) + make_entities("b", 40)
+        table = {e.entity_id: rng.normal(size=16) for e in entities}
+        embed = lambda chunk: np.stack([table[e.entity_id] for e in chunk])
+        exact = ShardedEntityIndex.from_entities(entities, embed_fn=embed)
+        ivf = ShardedEntityIndex.from_entities(
+            entities, embed_fn=embed, backend=IVFBackend(nprobe=10**9)
+        )
+        for a, b in zip(exact.search(queries, k=8), ivf.search(queries, k=8)):
+            assert a.entity_ids == b.entity_ids
+
+    def test_partial_probe_recall_reasonable(self, kb, queries):
+        entities, vectors = kb
+        exact = EntityIndex(entities, vectors)
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=6)
+        recall = recall_at_k(shard.search(queries, k=10), exact.search(queries, k=10))
+        assert recall >= 0.5  # random gaussian data is the worst case
+
+    def test_rescoring_rank_stability_under_int8(self, kb, queries):
+        """Re-scored ranking is exact *over the probed candidates*: with all
+        cells probed, int8 ranks match a brute-force ranking of the decoded
+        (quantized) matrix, so quantization error never reorders re-scoring."""
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=10, codec="int8")
+        decoded = shard._state.storage.to_dense()
+        reference = EntityIndex(entities, decoded)
+        for a, b in zip(shard.search(queries, k=12), reference.search(queries, k=12)):
+            assert a.entity_ids == b.entity_ids
+
+    def test_int8_topk_overlaps_exact(self, kb, queries):
+        entities, vectors = kb
+        exact = EntityIndex(entities, vectors)
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=10, codec="int8")
+        recall = recall_at_k(shard.search(queries, k=10), exact.search(queries, k=10))
+        assert recall >= 0.9  # int8 noise may swap distant neighbours only
+
+
+class TestSearchShapes:
+    def test_padding_when_probed_cells_are_small(self, kb):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=30, nprobe=1)
+        scores, positions = shard.search_arrays(vectors[:3], k=50)
+        assert (positions < 0).any()  # one cell rarely holds 50 entities
+        assert np.all(scores[positions < 0] == -np.inf)
+        # RetrievalResult rows never contain padding.
+        for result in shard.search(vectors[:3], k=50):
+            assert "-1" not in result.entity_ids
+            assert len(result) <= 50
+
+    def test_deterministic_across_calls(self, kb, queries):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=3)
+        first = shard.search(queries, k=5)
+        second = shard.search(queries, k=5)
+        for a, b in zip(first, second):
+            assert a.entity_ids == b.entity_ids
+
+
+class TestMutation:
+    def test_added_entities_searchable_immediately(self, kb):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=2)
+        new = Entity(entity_id="w:new", title="new", description="d", domain="w")
+        vector = np.full((1, 16), 5.0)
+        shard.add([new], vector)
+        assert shard.num_pending == 1
+        assert "w:new" in shard
+        result = shard.search(vector, k=1)[0]
+        assert result.entity_ids == ["w:new"]
+
+    def test_add_duplicate_rejected(self, kb):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors)
+        with pytest.raises(ValueError, match="update"):
+            shard.add([entities[0]], vectors[:1])
+
+    def test_remove_tombstones(self, kb, queries):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=10)
+        shard.remove([entities[0].entity_id, entities[5].entity_id])
+        assert len(shard) == len(entities) - 2
+        assert shard.num_tombstones == 2
+        for result in shard.search(queries, k=len(entities)):
+            assert entities[0].entity_id not in result.entity_ids
+            assert entities[5].entity_id not in result.entity_ids
+
+    def test_remove_unknown_raises(self, kb):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors)
+        with pytest.raises(KeyError):
+            shard.remove(["w:missing"])
+
+    def test_update_moves_entity_to_pending(self, kb):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=1)
+        moved = np.full((1, 16), 9.0)
+        shard.update([entities[3]], moved)
+        assert np.allclose(shard.vector(entities[3].entity_id), moved[0])
+        result = shard.search(moved, k=1)[0]
+        assert result.entity_ids == [entities[3].entity_id]
+
+    def test_compact_folds_pending_and_tombstones(self, kb, queries):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=10)
+        new = Entity(entity_id="w:new", title="new", description="d", domain="w")
+        shard.add([new], np.full((1, 16), 5.0))
+        shard.remove([entities[0].entity_id])
+        before = [r.entity_ids for r in shard.search(queries, k=20)]
+
+        generation = shard.compact()
+        assert generation == 1
+        assert shard.num_pending == 0
+        assert shard.num_tombstones == 0
+        assert len(shard) == len(entities)  # -1 removed, +1 added
+        after = [r.entity_ids for r in shard.search(queries, k=20)]
+        assert [sorted(ids) for ids in before] == [sorted(ids) for ids in after]
+
+    def test_compact_to_zero_entities_rejected(self, kb):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors)
+        shard.remove([e.entity_id for e in entities])
+        with pytest.raises(ValueError):
+            shard.compact()
+
+
+class TestShardedMutation:
+    def build(self):
+        rng = np.random.default_rng(11)
+        entities = make_entities("a", 40) + make_entities("b", 30)
+        table = {e.entity_id: rng.normal(size=8) for e in entities}
+        embed = lambda chunk: np.stack(
+            [table.setdefault(e.entity_id, rng.normal(size=8)) for e in chunk]
+        )
+        index = ShardedEntityIndex.from_entities(
+            entities, embed_fn=embed, backend=IVFBackend(nprobe=4)
+        )
+        return index
+
+    def test_add_routes_by_domain_and_creates_worlds(self):
+        index = self.build()
+        additions = [
+            Entity(entity_id="a:new", title="n", description="d", domain="a"),
+            Entity(entity_id="c:0", title="n", description="d", domain="c"),
+        ]
+        index.add_entities(additions)
+        assert "a:new" in index and "c:0" in index
+        assert "c" in index.worlds()
+        assert index.search(index.vector("a:new"), k=1)[0].entity_ids == ["a:new"]
+
+    def test_remove_and_cache_invalidation(self):
+        index = self.build()
+        index.vector("a:3")  # populate the LRU cache
+        assert "a:3" in index.embedding_cache
+        index.remove_entities(["a:3"])
+        assert "a:3" not in index
+        assert "a:3" not in index.embedding_cache
+
+    def test_update_refreshes_vector(self):
+        index = self.build()
+        target = index.entity("b:2")
+        moved = np.full((1, 8), 7.0)
+        index.update_entities([target], moved)
+        assert np.allclose(index.vector("b:2"), moved[0])
+
+    def test_compact_returns_generations(self):
+        index = self.build()
+        index.add_entities(
+            [Entity(entity_id="a:new", title="n", description="d", domain="a")]
+        )
+        generations = index.compact()
+        assert generations.get("a") == 1

@@ -1,0 +1,35 @@
+"""Codec registry and storage-protocol plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.index import CODECS, UnknownCodecError, as_storage, storage_codec
+
+
+class TestRegistry:
+    def test_known_codecs(self):
+        assert set(CODECS) == {"float64", "float16", "int8"}
+
+    def test_unknown_codec_raises_with_known_list(self):
+        with pytest.raises(UnknownCodecError) as excinfo:
+            storage_codec("pq4")
+        message = str(excinfo.value)
+        assert "pq4" in message
+        for name in CODECS:
+            assert name in message
+        # The error explains the newer-build scenario to the operator.
+        assert "newer" in message
+
+    def test_unknown_codec_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            storage_codec("nope")
+
+    def test_as_storage_wraps_and_passes_through(self):
+        matrix = np.zeros((2, 3))
+        storage = as_storage(matrix)
+        assert len(storage) == 2 and storage.dim == 3
+        assert as_storage(storage) is storage
+
+    def test_block_clamps_to_length(self):
+        storage = as_storage(np.ones((4, 2)))
+        assert storage.block(2, 99).shape == (2, 2)

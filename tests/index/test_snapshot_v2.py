@@ -1,0 +1,208 @@
+"""Version-2 snapshots: quantized codecs, mmap, IVF state, generations."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.index import (
+    IVFBackend,
+    UnknownCodecError,
+    compact_to_generation,
+    current_generation,
+    list_generations,
+    write_generation,
+)
+from repro.kb import Entity
+from repro.linking import ShardedEntityIndex
+from repro.linking.candidates import SNAPSHOT_MANIFEST
+
+
+def make_entities(world, count):
+    return [
+        Entity(
+            entity_id=f"{world}:{index}",
+            title=f"{world} entity {index}",
+            description=f"description {index}",
+            domain=world,
+        )
+        for index in range(count)
+    ]
+
+
+def build_index(backend=None, seed=0, dim=12):
+    rng = np.random.default_rng(seed)
+    entities = make_entities("alpha", 50) + make_entities("beta", 30)
+    table = {e.entity_id: rng.normal(size=dim) for e in entities}
+    embed = lambda chunk: np.stack([table[e.entity_id] for e in chunk])
+    index = ShardedEntityIndex.from_entities(entities, embed_fn=embed, backend=backend)
+    for world in index.worlds():
+        index.shard(world)
+    return index
+
+
+@pytest.fixture
+def queries():
+    return np.random.default_rng(2).normal(size=(6, 12))
+
+
+class TestQuantizedSnapshots:
+    @pytest.mark.parametrize("codec", ["float64", "float16", "int8"])
+    def test_exact_index_round_trips_under_codec(self, tmp_path, queries, codec):
+        index = build_index()
+        index.save(tmp_path / "snap", codec=codec)
+        restored = ShardedEntityIndex.load(tmp_path / "snap")
+        before = index.search(queries, k=8)
+        after = restored.search(queries, k=8)
+        agreement = np.mean(
+            [
+                len(set(a.entity_ids) & set(b.entity_ids)) / 8
+                for a, b in zip(before, after)
+            ]
+        )
+        if codec == "float64":
+            assert agreement == 1.0  # lossless: identical rankings
+        else:
+            assert agreement >= 0.85  # quantization may swap close neighbours
+
+    def test_unknown_codec_fails_with_clear_error(self, tmp_path):
+        index = build_index()
+        path = index.save(tmp_path / "snap", codec="int8")
+        manifest = json.loads((path / SNAPSHOT_MANIFEST).read_text())
+        for shard in manifest["shards"]:
+            shard["codec"] = "pq4"
+        (path / SNAPSHOT_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(UnknownCodecError, match="pq4"):
+            ShardedEntityIndex.load(path)
+
+    def test_unknown_backend_fails_with_clear_error(self, tmp_path):
+        index = build_index()
+        path = index.save(tmp_path / "snap")
+        manifest = json.loads((path / SNAPSHOT_MANIFEST).read_text())
+        manifest["shards"][0]["backend"] = "hnsw"
+        (path / SNAPSHOT_MANIFEST).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="hnsw"):
+            ShardedEntityIndex.load(path)
+
+    def test_save_under_unknown_codec_rejected(self, tmp_path):
+        index = build_index()
+        with pytest.raises(UnknownCodecError):
+            index.save(tmp_path / "snap", codec="pq4")
+
+
+class TestMmapLoading:
+    def test_mmap_load_searches_identically(self, tmp_path, queries):
+        index = build_index()
+        index.save(tmp_path / "snap")
+        in_ram = ShardedEntityIndex.load(tmp_path / "snap")
+        mapped = ShardedEntityIndex.load(tmp_path / "snap", mmap=True)
+        for a, b in zip(in_ram.search(queries, k=8), mapped.search(queries, k=8)):
+            assert a.entity_ids == b.entity_ids
+            assert np.allclose(a.scores, b.scores, atol=1e-12)
+
+    def test_mmap_arrays_are_memory_mapped_and_read_only(self, tmp_path):
+        index = build_index()
+        index.save(tmp_path / "snap")
+        mapped = ShardedEntityIndex.load(tmp_path / "snap", mmap=True)
+        vectors = mapped.shard("alpha").vectors
+        assert isinstance(vectors.base, np.memmap) or isinstance(vectors, np.memmap)
+        assert not vectors.flags.writeable
+
+    def test_mmap_index_still_updatable(self, tmp_path):
+        """update() on a mapped exact shard copies-on-write, never writes
+        through to the snapshot files."""
+        index = build_index()
+        path = index.save(tmp_path / "snap")
+        mapped = ShardedEntityIndex.load(tmp_path / "snap", mmap=True)
+        target = mapped.entity("alpha:0")
+        mapped.update_entities([target], np.full((1, 12), 3.0))
+        assert np.allclose(mapped.vector("alpha:0"), 3.0)
+        # The on-disk snapshot is untouched.
+        fresh = ShardedEntityIndex.load(path)
+        assert not np.allclose(fresh.vector("alpha:0"), 3.0)
+
+
+class TestIVFSnapshots:
+    def test_ivf_round_trip_with_pending_and_tombstones(self, tmp_path, queries):
+        index = build_index(backend=IVFBackend(nprobe=4))
+        index.add_entities(
+            [Entity(entity_id="alpha:new", title="n", description="d", domain="alpha")],
+            np.full((1, 12), 4.0),
+        )
+        index.remove_entities(["beta:3"])
+        index.save(tmp_path / "snap")
+
+        restored = ShardedEntityIndex.load(tmp_path / "snap", mmap=True)
+        shard = restored.shard("alpha")
+        assert shard.num_pending == 1
+        assert "alpha:new" in restored
+        assert "beta:3" not in restored
+        for a, b in zip(index.search(queries, k=10), restored.search(queries, k=10)):
+            assert a.entity_ids == b.entity_ids
+
+    def test_ivf_snapshot_restores_as_ivf_without_backend_arg(self, tmp_path):
+        index = build_index(backend=IVFBackend(nprobe=2, codec="int8"))
+        index.save(tmp_path / "snap")
+        restored = ShardedEntityIndex.load(tmp_path / "snap")
+        stats = restored.shard("alpha").stats()
+        assert stats["backend"] == "ivf"
+        assert stats["codec"] == "int8"
+        assert stats["nprobe"] == 2
+
+    def test_exact_snapshot_rebuilds_under_ivf_backend(self, tmp_path, queries):
+        index = build_index()
+        index.save(tmp_path / "snap")
+        rebuilt = ShardedEntityIndex.load(
+            tmp_path / "snap", backend=IVFBackend(nprobe=10**9)
+        )
+        assert rebuilt.shard("alpha").stats()["backend"] == "ivf"
+        for a, b in zip(index.search(queries, k=8), rebuilt.search(queries, k=8)):
+            assert a.entity_ids == b.entity_ids
+
+
+class TestGenerationStore:
+    def test_write_and_resolve_current(self, tmp_path, queries):
+        index = build_index()
+        store = tmp_path / "store"
+        first = write_generation(index, store)
+        assert first.name == "gen-00000001"
+        assert current_generation(store) == first
+
+        # Loading the store root resolves CURRENT transparently.
+        restored = ShardedEntityIndex.load(store)
+        for a, b in zip(index.search(queries, k=5), restored.search(queries, k=5)):
+            assert a.entity_ids == b.entity_ids
+
+    def test_generations_accumulate_and_current_advances(self, tmp_path):
+        index = build_index()
+        store = tmp_path / "store"
+        write_generation(index, store)
+        second = write_generation(index, store)
+        assert [p.name for p in list_generations(store)] == [
+            "gen-00000001",
+            "gen-00000002",
+        ]
+        assert current_generation(store) == second
+
+    def test_compact_to_generation_folds_pending(self, tmp_path):
+        index = build_index(backend=IVFBackend(nprobe=4))
+        index.add_entities(
+            [Entity(entity_id="alpha:new", title="n", description="d", domain="alpha")],
+            np.full((1, 12), 4.0),
+        )
+        store = tmp_path / "store"
+        compact_to_generation(index, store)
+        restored = ShardedEntityIndex.load(store)
+        shard = restored.shard("alpha")
+        assert shard.num_pending == 0
+        assert "alpha:new" in restored
+
+    def test_empty_store_has_no_current(self, tmp_path):
+        assert current_generation(tmp_path / "missing") is None
+
+    def test_corrupt_marker_raises(self, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        (store / "CURRENT").write_text("gen-00000009")
+        with pytest.raises(ValueError, match="missing generation"):
+            current_generation(store)

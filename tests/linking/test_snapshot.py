@@ -7,7 +7,12 @@ import pytest
 
 from repro.kb import Entity
 from repro.linking import ShardedEntityIndex
-from repro.linking.candidates import SNAPSHOT_MANIFEST, SNAPSHOT_VECTORS
+from repro.linking.candidates import (
+    SNAPSHOT_ARRAYS,
+    SNAPSHOT_FORMAT_VERSION,
+    SNAPSHOT_MANIFEST,
+    SNAPSHOT_VECTORS,
+)
 
 
 def make_entities(world, count):
@@ -136,6 +141,45 @@ class TestSnapshotRoundTrip:
             ShardedEntityIndex.load(path)
 
     def test_snapshot_files_written(self, tmp_path):
-        path = build_index(CountingEmbedder()).save(tmp_path / "snap")
+        index = build_index(CountingEmbedder())
+        index.shard("lego")  # materialise one shard so arrays exist
+        path = index.save(tmp_path / "snap")
         assert (path / SNAPSHOT_MANIFEST).exists()
-        assert (path / SNAPSHOT_VECTORS).exists()
+        manifest = json.loads((path / SNAPSHOT_MANIFEST).read_text())
+        assert manifest["format_version"] == SNAPSHOT_FORMAT_VERSION
+        # Version 2 writes one raw .npy per array (mmap-able), not an npz.
+        arrays = sorted(p.name for p in (path / SNAPSHOT_ARRAYS).glob("*.npy"))
+        assert arrays == ["shard_0.npy"]
+
+    def test_version1_npz_snapshot_still_loads(self, tmp_path):
+        """Snapshots written by the old (v1) format remain readable."""
+        embedder = CountingEmbedder()
+        index = build_index(embedder)
+        queries = np.random.default_rng(1).normal(size=(4, 6))
+        before = index.search(queries, k=6)  # materialises every shard
+
+        # Write the v1 layout by hand: manifest + one npz of shard arrays.
+        path = tmp_path / "snap-v1"
+        path.mkdir()
+        shards = []
+        arrays = {}
+        for position, world in enumerate(index.worlds()):
+            shard = index.shard(world)
+            entities = index._shard_entities[world]
+            shards.append(
+                {
+                    "world": world,
+                    "materialized": shard is not None,
+                    "entities": [entity.to_dict() for entity in entities],
+                }
+            )
+            if shard is not None:
+                arrays[f"shard_{position}"] = shard.vectors
+        manifest = {"format_version": 1, "block_size": 4, "cache_size": 16, "shards": shards}
+        (path / SNAPSHOT_MANIFEST).write_text(json.dumps(manifest))
+        np.savez(path / SNAPSHOT_VECTORS, **arrays)
+
+        restored = ShardedEntityIndex.load(path)
+        after = restored.search(queries, k=6)
+        for a, b in zip(before, after):
+            assert a.entity_ids == b.entity_ids
