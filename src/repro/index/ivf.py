@@ -100,6 +100,14 @@ def kmeans(
             ).ravel()
             worst = np.argsort(-own, kind="stable")[: empty.size]
             centroids[empty] = vectors[worst]
+    # One final assignment pass against the returned centroids: the loop
+    # moves centroids (means + empty-cell re-seeds) *after* assigning, so
+    # without this a re-seeded cell would sit directly on a real point
+    # while its inverted list is empty — a deterministic recall hole for
+    # queries matching exactly that point.
+    scores = vectors @ centroids.T
+    norms = np.einsum("cd,cd->c", centroids, centroids)
+    assignments = np.argmin(norms[None, :] - 2.0 * scores, axis=1)
     return centroids, assignments
 
 
@@ -178,9 +186,10 @@ class IVFShard:
 
     Implements the same search/lookup surface as
     :class:`~repro.linking.candidates.EntityIndex` (``search_arrays``,
-    ``search``, ``entity``, ``vector``, ``entity_id_at``, ``__len__``,
-    ``__contains__``), so a :class:`ShardedEntityIndex` can hold exact and
-    IVF shards interchangeably.
+    ``search_arrays_with_ids``, ``search``, ``entity``, ``vector``,
+    ``entity_id_at``, ``__len__``, ``__contains__``), so a
+    :class:`ShardedEntityIndex` can hold exact and IVF shards
+    interchangeably.
 
     Parameters
     ----------
@@ -349,10 +358,41 @@ class IVFShard:
         every probed cell, one fused re-score, one lexsort.  Rows sorted by
         decreasing score, ties broken by ascending position; rows with fewer
         than ``k`` candidates are padded with ``-inf`` / position ``-1``.
+
+        The returned positions are only meaningful against the generation
+        that produced them; callers who resolve them to entities must use
+        :meth:`search` / :meth:`search_arrays_with_ids`, which pin one state
+        snapshot for both steps (a racing :meth:`compact` remaps positions).
         """
+        return self._search_arrays(self._state, query_vectors, k)
+
+    def search_arrays_with_ids(
+        self, query_vectors: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`search_arrays` plus per-slot entity ids, atomically.
+
+        Scores, positions and ids all come from *one* state snapshot, so a
+        :meth:`compact` or mutation landing mid-call can never remap the
+        positions between scoring and id resolution.  The third array is
+        object-dtype, shaped like ``positions``, holding entity id strings
+        with ``None`` in padding slots — it is what the
+        :class:`~repro.linking.candidates.ShardedEntityIndex` fan-out merge
+        consumes instead of post-hoc ``entity_id_at`` lookups.
+        """
+        state = self._state  # one read: scoring and id resolution agree
+        scores, positions = self._search_arrays(state, query_vectors, k)
+        flat_positions = positions.ravel()
+        flat_ids = np.empty(flat_positions.shape, dtype=object)
+        for i in np.flatnonzero(flat_positions >= 0):
+            flat_ids[i] = state.entity_at(int(flat_positions[i])).entity_id
+        return scores, positions, flat_ids.reshape(positions.shape)
+
+    def _search_arrays(
+        self, state: _IVFState, query_vectors: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Search one pinned ``state``; every read below goes through it."""
         if k <= 0:
             raise ValueError("k must be positive")
-        state = self._state  # one read: the whole search sees one generation
         queries = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
         num_queries = len(queries)
 
@@ -446,8 +486,8 @@ class IVFShard:
 
     def search(self, query_vectors: np.ndarray, k: int) -> List[RetrievalResult]:
         """Top-k approximate search returning :class:`RetrievalResult` rows."""
-        state = self._state
-        scores, positions = self.search_arrays(query_vectors, k)
+        state = self._state  # one snapshot for both scoring and id resolution
+        scores, positions = self._search_arrays(state, query_vectors, k)
         results: List[RetrievalResult] = []
         for row_scores, row_positions in zip(scores, positions):
             valid = row_positions >= 0
@@ -465,8 +505,8 @@ class IVFShard:
     def retrieve_entities(
         self, query_vectors: np.ndarray, k: int
     ) -> List[List[Entity]]:
-        state = self._state
-        _, positions = self.search_arrays(query_vectors, k)
+        state = self._state  # one snapshot for both scoring and resolution
+        _, positions = self._search_arrays(state, query_vectors, k)
         return [
             [state.entity_at(int(p)) for p in row[row >= 0]] for row in positions
         ]
@@ -534,7 +574,10 @@ class IVFShard:
         """Replace entities in place: tombstone the old row, append the new.
 
         The entity id is preserved; the fresh metadata/embedding lives in
-        the exact pending tail until the next :meth:`compact`.
+        the exact pending tail until the next :meth:`compact`.  Tombstone
+        and append happen in *one* state swap under one lock acquisition,
+        so a concurrent search sees either the old row or the new one —
+        never the entity transiently absent.
         """
         entities = list(entities)
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
@@ -542,13 +585,38 @@ class IVFShard:
             raise ValueError("entities and vectors must align")
         if not entities:
             return
-        missing = [
-            e.entity_id for e in entities if e.entity_id not in self._state.id_to_position
-        ]
-        if missing:
-            raise KeyError(f"unknown entities: {missing}")
-        self.remove([e.entity_id for e in entities])
-        self.add(entities, vectors)
+        with self._lock:
+            state = self._state
+            missing = [
+                e.entity_id
+                for e in entities
+                if e.entity_id not in state.id_to_position
+            ]
+            if missing:
+                raise KeyError(f"unknown entities: {missing}")
+            main_alive = state.main_alive.copy()
+            pending_alive = np.concatenate(
+                [state.pending_alive, np.ones(len(entities), dtype=bool)]
+            )
+            id_to_position = dict(state.id_to_position)
+            base = state.num_main + len(state.pending_entities)
+            for j, entity in enumerate(entities):
+                old = id_to_position[entity.entity_id]
+                if old < state.num_main:
+                    main_alive[old] = False
+                else:
+                    pending_alive[old - state.num_main] = False
+                id_to_position[entity.entity_id] = base + j
+            self._state = replace(
+                state,
+                main_alive=main_alive,
+                pending_entities=state.pending_entities + tuple(entities),
+                pending_vectors=np.concatenate(
+                    [state.pending_vectors, vectors], axis=0
+                ),
+                pending_alive=pending_alive,
+                id_to_position=id_to_position,
+            )
 
     def compact(self) -> int:
         """Fold the pending tail + tombstones into a re-clustered generation.

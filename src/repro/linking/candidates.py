@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import shutil
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -77,6 +78,16 @@ SNAPSHOT_FORMAT_VERSION = 2
 SNAPSHOT_MANIFEST = "index.json"
 SNAPSHOT_VECTORS = "vectors.npz"
 SNAPSHOT_ARRAYS = "arrays"
+
+#: In-place re-save parks the committed arrays directory here until the new
+#: manifest is committed; a crash between the renames leaves it recoverable.
+SNAPSHOT_ARRAYS_OLD = "arrays.old"
+
+#: Marker file inside an arrays directory echoing the manifest's
+#: ``arrays_token`` — :meth:`ShardedEntityIndex.load` uses it to pick the
+#: arrays directory that matches the committed manifest after a crashed
+#: re-save.
+SNAPSHOT_ARRAYS_TOKEN = "TOKEN"
 
 #: Generation-store pointer file (see :mod:`repro.index.snapshot`); when a
 #: load path contains one, the load resolves it to the current generation.
@@ -382,6 +393,26 @@ class EntityIndex:
             raise ValueError("k must be positive")
         query_vectors = np.atleast_2d(np.asarray(query_vectors, dtype=np.float64))
         return blocked_topk(query_vectors, self._vectors, k, block_size=self._block_size)
+
+    def search_arrays_with_ids(
+        self, query_vectors: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`search_arrays` plus per-slot entity ids.
+
+        The third array is object-dtype, shaped like ``positions``, holding
+        entity id strings (``None`` in padding slots).  The sharded fan-out
+        merge consumes this instead of post-hoc :meth:`entity_id_at` lookups
+        so ids always match the rows that were scored — on approximate
+        shards (:class:`~repro.index.ivf.IVFShard`) the equivalent method is
+        atomic against one state snapshot.
+        """
+        entities = self._entities
+        scores, positions = self.search_arrays(query_vectors, k)
+        flat_positions = positions.ravel()
+        flat_ids = np.empty(flat_positions.shape, dtype=object)
+        for i in np.flatnonzero(flat_positions >= 0):
+            flat_ids[i] = entities[int(flat_positions[i])].entity_id
+        return scores, positions, flat_ids.reshape(positions.shape)
 
     def search(self, query_vectors: np.ndarray, k: int) -> List[RetrievalResult]:
         """Top-k inner-product search for each query vector.
@@ -751,29 +782,41 @@ class ShardedEntityIndex:
                 for key, array in encode_matrix(dense, codec).arrays().items():
                     name = f"shard_{position}__{key}" if key else f"shard_{position}"
                     arrays[name] = array
+        token = uuid.uuid4().hex
         manifest = {
             "format_version": SNAPSHOT_FORMAT_VERSION,
             "block_size": self._block_size,
             "cache_size": self.embedding_cache.capacity,
             "shards": shards,
+            "arrays_token": token,
         }
         # Write arrays into a temp directory, swap it in, then write the
         # manifest (temp file + rename): the manifest is the commit marker a
         # reader looks at first, so a crash mid-save never exposes a
-        # half-written snapshot.
+        # half-written snapshot.  On an in-place re-save the committed
+        # arrays directory is *renamed aside*, never deleted, until the new
+        # manifest is committed; the token marker ties each manifest to its
+        # arrays directory so load() recovers the right pairing if a crash
+        # lands between the renames.
         arrays_tmp = path / (SNAPSHOT_ARRAYS + ".tmp")
         if arrays_tmp.exists():
             shutil.rmtree(arrays_tmp)
         arrays_tmp.mkdir()
         for name, array in arrays.items():
             np.save(arrays_tmp / f"{name}.npy", np.ascontiguousarray(array))
+        (arrays_tmp / SNAPSHOT_ARRAYS_TOKEN).write_text(token)
         arrays_dir = path / SNAPSHOT_ARRAYS
+        arrays_old = path / SNAPSHOT_ARRAYS_OLD
+        if arrays_old.exists():
+            shutil.rmtree(arrays_old)
         if arrays_dir.exists():
-            shutil.rmtree(arrays_dir)
+            arrays_dir.replace(arrays_old)
         arrays_tmp.replace(arrays_dir)
         manifest_tmp = path / (SNAPSHOT_MANIFEST + ".tmp")
         manifest_tmp.write_text(json.dumps(manifest, indent=1))
         manifest_tmp.replace(path / SNAPSHOT_MANIFEST)
+        if arrays_old.exists():
+            shutil.rmtree(arrays_old)
         return path
 
     @classmethod
@@ -834,6 +877,30 @@ class ShardedEntityIndex:
             return index
 
         arrays_dir = path / SNAPSHOT_ARRAYS
+        token = manifest.get("arrays_token")
+        if token is not None:
+            # A crash during an in-place re-save can leave the *new* arrays
+            # directory in place while the committed manifest is still the
+            # old one (or the arrays rename done but the swap-in not).  The
+            # token marker written by save() identifies which directory the
+            # committed manifest describes.
+            def _holds_token(candidate: Path) -> bool:
+                marker = candidate / SNAPSHOT_ARRAYS_TOKEN
+                try:
+                    return marker.read_text() == token
+                except OSError:
+                    return False
+
+            if not _holds_token(arrays_dir):
+                fallback = path / SNAPSHOT_ARRAYS_OLD
+                if _holds_token(fallback):
+                    arrays_dir = fallback
+                else:
+                    raise ValueError(
+                        f"snapshot at {path} is inconsistent: no arrays "
+                        f"directory matches the manifest's arrays_token "
+                        f"(interrupted save?)"
+                    )
         mmap_mode = "r" if mmap else None
 
         def _load(name: str) -> np.ndarray:
@@ -916,44 +983,43 @@ class ShardedEntityIndex:
 
         # Fan-out: per-shard blocked top-k, then one vectorized merge.  The
         # lexsort keys encode the deterministic ordering (score desc, shard
-        # insertion order, entity position).
+        # insertion order, entity position).  Each shard resolves entity ids
+        # inside search_arrays_with_ids, against the same state snapshot
+        # that produced the scores — a post-hoc entity_id_at lookup could
+        # race a compact() that remaps positions between the two reads.
         score_blocks: List[np.ndarray] = []
         position_blocks: List[np.ndarray] = []
         shard_blocks: List[np.ndarray] = []
+        id_blocks: List[np.ndarray] = []
         for shard_order, world in enumerate(selected):
             shard = self.shard(world)
             assert shard is not None
-            scores, positions = shard.search_arrays(query_vectors, k)
+            scores, positions, ids = shard.search_arrays_with_ids(query_vectors, k)
             score_blocks.append(scores)
             position_blocks.append(positions)
+            id_blocks.append(ids)
             shard_blocks.append(np.full(positions.shape, shard_order, dtype=np.int64))
 
         scores = np.concatenate(score_blocks, axis=1)
         positions = np.concatenate(position_blocks, axis=1)
+        entity_id_slots = np.concatenate(id_blocks, axis=1)
         shard_orders = np.concatenate(shard_blocks, axis=1)
         order = np.lexsort((positions, shard_orders, -scores), axis=1)[:, :k]
         top_scores = np.take_along_axis(scores, order, axis=1)
-        top_positions = np.take_along_axis(positions, order, axis=1)
-        top_shards = np.take_along_axis(shard_orders, order, axis=1)
+        top_ids = np.take_along_axis(entity_id_slots, order, axis=1)
 
-        # Resolve positions through the shards themselves (IVF positions are
-        # stable slot numbers, not list offsets) and drop padding slots
-        # (position -1, score -inf) emitted by approximate shards.
-        selected_shards = [self.shard(world) for world in selected]
+        # Padding slots (position -1, score -inf) emitted by approximate
+        # shards carry a None id and are dropped here.
         results: List[RetrievalResult] = []
         for query_index in range(num_queries):
             entity_ids: List[str] = []
             row_scores: List[float] = []
-            for shard_index, position, score in zip(
-                top_shards[query_index],
-                top_positions[query_index],
-                top_scores[query_index],
+            for entity_id, score in zip(
+                top_ids[query_index], top_scores[query_index]
             ):
-                if position < 0:
+                if entity_id is None:
                     continue
-                shard = selected_shards[shard_index]
-                assert shard is not None
-                entity_ids.append(shard.entity_id_at(int(position)))
+                entity_ids.append(entity_id)
                 row_scores.append(float(score))
             results.append(RetrievalResult(entity_ids=entity_ids, scores=row_scores))
         return results

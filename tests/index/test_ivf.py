@@ -1,5 +1,7 @@
 """IVFShard: parity with the exact index, recall, rank stability, mutation."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -51,6 +53,20 @@ class TestKMeans:
         assert default_num_cells(1) == 1
         assert default_num_cells(100) == 10
         assert default_num_cells(100_000) == 316
+
+    def test_assignments_match_returned_centroids(self):
+        """Heavily duplicated points force empty cells and re-seeding; the
+        returned assignments must be the nearest-centroid assignment of the
+        *returned* centroids, or a re-seeded cell sits directly on a real
+        point while its inverted list is empty (a deterministic recall
+        hole for queries matching that point)."""
+        rng = np.random.default_rng(2)
+        vectors = np.repeat(rng.normal(size=(5, 4)), 12, axis=0)
+        centroids, assignments = kmeans(vectors, 20, seed=0)
+        scores = vectors @ centroids.T
+        norms = np.einsum("cd,cd->c", centroids, centroids)
+        expected = np.argmin(norms[None, :] - 2.0 * scores, axis=1)
+        assert np.array_equal(assignments, expected)
 
 
 class TestExactParity:
@@ -124,6 +140,80 @@ class TestSearchShapes:
             assert a.entity_ids == b.entity_ids
 
 
+class TestSnapshotConsistency:
+    def test_search_arrays_with_ids_matches_positions(self, kb, queries):
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=30, nprobe=1)
+        _, positions, ids = shard.search_arrays_with_ids(queries, k=50)
+        assert ids.shape == positions.shape
+        for position, entity_id in zip(positions.ravel(), ids.ravel()):
+            if position < 0:
+                assert entity_id is None
+            else:
+                assert entity_id == shard.entity_id_at(int(position))
+
+    def test_exact_shard_search_arrays_with_ids(self, kb, queries):
+        entities, vectors = kb
+        exact = EntityIndex(entities, vectors)
+        _, positions, ids = exact.search_arrays_with_ids(queries, k=7)
+        for position, entity_id in zip(positions.ravel(), ids.ravel()):
+            assert entity_id == exact.entity_id_at(int(position))
+
+    def test_compact_mid_search_resolves_captured_generation(
+        self, kb, monkeypatch
+    ):
+        """A compact() landing between scoring and id resolution must not
+        remap positions: both steps read the state captured at call time.
+        The pending-tail position here exceeds every range of the compacted
+        generation, so resolving through the wrong state would raise or
+        return a wrong id."""
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=10)
+        new = Entity(entity_id="w:new", title="new", description="d", domain="w")
+        target = np.full((1, 16), 5.0)
+        shard.add([new], target)
+        shard.remove([entities[0].entity_id])
+
+        inner = IVFShard._search_arrays
+
+        def racing(self, state, query_vectors, k):
+            result = inner(self, state, query_vectors, k)
+            self.compact()  # generation swap before ids are resolved
+            return result
+
+        monkeypatch.setattr(IVFShard, "_search_arrays", racing)
+        assert shard.search(target, k=1)[0].entity_ids == ["w:new"]
+        _, _, ids = shard.search_arrays_with_ids(target, k=1)
+        assert ids[0][0] == "w:new"
+        assert shard.retrieve_entities(target, k=1)[0][0].entity_id == "w:new"
+
+    def test_fanout_merge_resolves_ids_atomically(self, monkeypatch):
+        """The sharded fan-out merge must take ids from the shard's own
+        atomic search, not re-resolve positions after the fact."""
+        rng = np.random.default_rng(9)
+        entities = make_entities("a", 40) + make_entities("b", 30)
+        table = {e.entity_id: rng.normal(size=16) for e in entities}
+        embed = lambda chunk: np.stack([table[e.entity_id] for e in chunk])
+        index = ShardedEntityIndex.from_entities(
+            entities, embed_fn=embed, backend=IVFBackend(nprobe=10**9)
+        )
+        for world in index.worlds():
+            index.shard(world)
+        new = Entity(entity_id="a:new", title="n", description="d", domain="a")
+        target = np.full((1, 16), 5.0)
+        index.add_entities([new], target)
+
+        inner = IVFShard._search_arrays
+
+        def racing(self, state, query_vectors, k):
+            result = inner(self, state, query_vectors, k)
+            self.compact()
+            return result
+
+        monkeypatch.setattr(IVFShard, "_search_arrays", racing)
+        assert index.search(target, k=1)[0].entity_ids == ["a:new"]
+
+
 class TestMutation:
     def test_added_entities_searchable_immediately(self, kb):
         entities, vectors = kb
@@ -166,6 +256,34 @@ class TestMutation:
         assert np.allclose(shard.vector(entities[3].entity_id), moved[0])
         result = shard.search(moved, k=1)[0]
         assert result.entity_ids == [entities[3].entity_id]
+
+    def test_update_is_one_atomic_state_swap(self, kb):
+        """update() tombstones and appends in a single state publication:
+        no published state may ever lack the updated entity (the old
+        remove()+add() composition exposed a window where a concurrent
+        search saw the entity absent entirely)."""
+        entities, vectors = kb
+        shard = IVFShard(entities, vectors, num_cells=10, nprobe=10)
+        target = entities[7]
+        absent = []
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                if target.entity_id not in shard._state.id_to_position:
+                    absent.append(True)
+                    return
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            for step in range(200):
+                shard.update([target], np.full((1, 16), float(step)))
+        finally:
+            stop.set()
+            thread.join()
+        assert not absent
+        assert np.allclose(shard.vector(target.entity_id), 199.0)
 
     def test_compact_folds_pending_and_tombstones(self, kb, queries):
         entities, vectors = kb

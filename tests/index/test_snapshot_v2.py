@@ -1,6 +1,7 @@
 """Version-2 snapshots: quantized codecs, mmap, IVF state, generations."""
 
 import json
+import shutil
 
 import numpy as np
 import pytest
@@ -15,7 +16,12 @@ from repro.index import (
 )
 from repro.kb import Entity
 from repro.linking import ShardedEntityIndex
-from repro.linking.candidates import SNAPSHOT_MANIFEST
+from repro.linking.candidates import (
+    SNAPSHOT_ARRAYS,
+    SNAPSHOT_ARRAYS_OLD,
+    SNAPSHOT_ARRAYS_TOKEN,
+    SNAPSHOT_MANIFEST,
+)
 
 
 def make_entities(world, count):
@@ -206,3 +212,53 @@ class TestGenerationStore:
         (store / "CURRENT").write_text("gen-00000009")
         with pytest.raises(ValueError, match="missing generation"):
             current_generation(store)
+
+
+class TestCrashSafeResave:
+    def test_resave_over_existing_snapshot_round_trips(self, tmp_path, queries):
+        index = build_index()
+        snap = tmp_path / "snap"
+        index.save(snap)
+        index.save(snap)  # in-place re-save over committed data
+        assert not (snap / SNAPSHOT_ARRAYS_OLD).exists()
+        restored = ShardedEntityIndex.load(snap)
+        for a, b in zip(index.search(queries, k=8), restored.search(queries, k=8)):
+            assert a.entity_ids == b.entity_ids
+
+    def test_interrupted_resave_falls_back_to_committed_arrays(
+        self, tmp_path, queries
+    ):
+        """Crash window: new arrays swapped in, manifest rename never ran.
+        The committed manifest's token no longer matches arrays/, so load()
+        must fall back to the parked arrays.old it does match."""
+        index = build_index()
+        snap = tmp_path / "snap"
+        index.save(snap)
+        before = index.search(queries, k=8)
+        (snap / SNAPSHOT_ARRAYS).rename(snap / SNAPSHOT_ARRAYS_OLD)
+        uncommitted = snap / SNAPSHOT_ARRAYS
+        uncommitted.mkdir()
+        (uncommitted / SNAPSHOT_ARRAYS_TOKEN).write_text("not-the-committed-token")
+        restored = ShardedEntityIndex.load(snap)
+        for a, b in zip(before, restored.search(queries, k=8)):
+            assert a.entity_ids == b.entity_ids
+
+    def test_interrupted_resave_with_arrays_missing_recovers(self, tmp_path, queries):
+        """Crash window: committed arrays parked aside, replacement rename
+        never ran — arrays/ is absent entirely."""
+        index = build_index()
+        snap = tmp_path / "snap"
+        index.save(snap)
+        before = index.search(queries, k=8)
+        (snap / SNAPSHOT_ARRAYS).rename(snap / SNAPSHOT_ARRAYS_OLD)
+        restored = ShardedEntityIndex.load(snap)
+        for a, b in zip(before, restored.search(queries, k=8)):
+            assert a.entity_ids == b.entity_ids
+
+    def test_no_matching_arrays_is_a_clear_error(self, tmp_path):
+        index = build_index()
+        snap = tmp_path / "snap"
+        index.save(snap)
+        shutil.rmtree(snap / SNAPSHOT_ARRAYS)
+        with pytest.raises(ValueError, match="arrays_token"):
+            ShardedEntityIndex.load(snap)
